@@ -1,0 +1,32 @@
+//! Criterion bench: optimized kernel time as a function of the number
+//! of source blocks n_B (the measured-time half of Figure 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_kernels::{aggregate, AggregationConfig, BinaryOp, ReduceOp};
+use std::hint::black_box;
+
+fn bench_blocks(c: &mut Criterion) {
+    let ds = Dataset::generate(&ScaledConfig::reddit_s().scaled_by(0.25));
+    let mut group = c.benchmark_group("cache_blocking/reddit-s");
+    group.sample_size(10);
+    for n_b in [1usize, 2, 4, 8, 16, 32, 64] {
+        let kcfg = AggregationConfig::optimized(n_b);
+        group.bench_function(BenchmarkId::from_parameter(n_b), |b| {
+            b.iter(|| {
+                black_box(aggregate(
+                    &ds.graph,
+                    black_box(&ds.features),
+                    None,
+                    BinaryOp::CopyLhs,
+                    ReduceOp::Sum,
+                    &kcfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocks);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: simulated-cluster collectives (the comm substrate
+//! under the distributed trainers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgnn_comm::Cluster;
+use std::hint::black_box;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("allreduce_64k", ranks), |b| {
+            b.iter(|| {
+                Cluster::run(ranks, |ctx| {
+                    let mut buf = vec![1.0f32; 16 * 1024];
+                    ctx.all_reduce_sum(&mut buf);
+                    black_box(buf[0])
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("alltoallv_16k", ranks), |b| {
+            b.iter(|| {
+                Cluster::run(ranks, |ctx| {
+                    let outgoing = vec![vec![1.0f32; 4 * 1024]; ranks];
+                    black_box(ctx.all_to_all_v(outgoing).len())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

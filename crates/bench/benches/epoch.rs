@@ -1,0 +1,38 @@
+//! Criterion bench: end-to-end training epochs — single-socket
+//! baseline vs optimized (Fig. 2) and distributed modes (Fig. 5's
+//! measured substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgnn_core::single::{Trainer, TrainerConfig};
+use distgnn_core::{DistConfig, DistMode, DistTrainer};
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_kernels::AggregationConfig;
+use std::hint::black_box;
+
+fn bench_epochs(c: &mut Criterion) {
+    let ds = Dataset::generate(&ScaledConfig::am_s());
+    let mut group = c.benchmark_group("epoch/am-s");
+    group.sample_size(10);
+    for (name, kernel) in [
+        ("single_baseline", AggregationConfig::baseline()),
+        ("single_optimized", AggregationConfig::optimized(2)),
+    ] {
+        let cfg = TrainerConfig::for_dataset(&ds, kernel, 1);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut t = Trainer::new(&ds, &cfg);
+                black_box(t.train_epoch())
+            })
+        });
+    }
+    for mode in [DistMode::Oc, DistMode::Cd0, DistMode::CdR { delay: 2 }] {
+        let cfg = DistConfig::new(&ds, mode, 4, 2);
+        group.bench_function(BenchmarkId::new("dist4", mode.name()), |b| {
+            b.iter(|| black_box(DistTrainer::run(&ds, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

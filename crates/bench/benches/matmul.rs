@@ -1,0 +1,20 @@
+//! Criterion bench: dense matmul forms used by the MLP stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distgnn_tensor::{matmul, matmul_a_bt, matmul_at_b, Matrix};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(4096, 64, |r, q| ((r * 7 + q) % 13) as f32 - 6.0);
+    let w = Matrix::from_fn(64, 64, |r, q| ((r + q * 3) % 11) as f32 - 5.0);
+    let g = Matrix::from_fn(4096, 64, |r, q| ((r + q) % 9) as f32 - 4.0);
+    let mut group = c.benchmark_group("matmul/4096x64x64");
+    group.sample_size(20);
+    group.bench_function("forward_ab", |b| b.iter(|| black_box(matmul(&a, &w))));
+    group.bench_function("weightgrad_atb", |b| b.iter(|| black_box(matmul_at_b(&a, &g))));
+    group.bench_function("inputgrad_abt", |b| b.iter(|| black_box(matmul_a_bt(&g, &w))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: Libra vertex-cut vs hash edge partitioning
+//! (Table 4's generator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_partition::random::hash_partition;
+use distgnn_partition::libra_partition;
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let ds = Dataset::generate(&ScaledConfig::products_s().scaled_by(0.25));
+    let edges = ds.graph.to_edge_list();
+    let mut group = c.benchmark_group("partitioning/products-s");
+    group.sample_size(10);
+    for k in [4usize, 16, 64] {
+        group.bench_function(BenchmarkId::new("libra", k), |b| {
+            b.iter(|| black_box(libra_partition(black_box(&edges), k)))
+        });
+        group.bench_function(BenchmarkId::new("hash", k), |b| {
+            b.iter(|| black_box(hash_partition(black_box(&edges), k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

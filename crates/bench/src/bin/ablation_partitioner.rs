@@ -1,0 +1,49 @@
+//! Ablation (§5.1's design argument): vertex-cut (Libra) vs edge-cut
+//! (streaming LDG) vs hash partitioning, measured in replication
+//! factor — the quantity proportional to DistGNN's clone-sync
+//! communication — and edge balance.
+
+use distgnn_bench::{header, print_table};
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_partition::ldg::{ldg_partition, ldg_vertex_partition};
+use distgnn_partition::metrics::{edge_balance, replication_factor};
+use distgnn_partition::random::hash_partition;
+use distgnn_partition::libra_partition;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    header("Ablation — partitioner choice (vertex-cut vs edge-cut vs hash)");
+
+    for cfg in [
+        ScaledConfig::reddit_s(),
+        ScaledConfig::products_s(),
+        ScaledConfig::proteins_s(),
+    ] {
+        let ds = Dataset::generate(&cfg.scaled_by(scale));
+        let edges = ds.graph.to_edge_list();
+        println!("\n--- {} ---", ds.name);
+        let mut rows = Vec::new();
+        for k in [4usize, 8, 16] {
+            let libra = libra_partition(&edges, k);
+            let ldg = ldg_partition(&edges, k);
+            let hash = hash_partition(&edges, k);
+            let cut = ldg_vertex_partition(&edges, k).cut_fraction(&edges);
+            rows.push(vec![
+                format!("{k}"),
+                format!("{:.2}", replication_factor(&libra)),
+                format!("{:.2}", replication_factor(&ldg)),
+                format!("{:.2}", replication_factor(&hash)),
+                format!("{:.1}%", cut * 100.0),
+                format!("{:.3}", edge_balance(&libra)),
+            ]);
+        }
+        print_table(
+            &["k", "libra rf", "edge-cut rf", "hash rf", "edge cut %", "libra bal"],
+            &rows,
+        );
+    }
+    println!();
+    println!("Expected (§5.1, citing the power-law partitioning literature): the");
+    println!("vertex-cut replication factor stays below the edge-cut-induced one on");
+    println!("skewed graphs, and far below hashing; clustered graphs narrow the gap.");
+}

@@ -1,0 +1,55 @@
+//! Table 3: cache reuse of the source feature matrix `f_V` as a
+//! function of the number of blocks `n_B`, for a dense (Reddit-like)
+//! and a sparse (Products-like) graph.
+//!
+//! Reuse is measured by replaying the blocked kernel's access stream
+//! through the set-associative cache model. The paper's shape: for the
+//! dense graph reuse rises with `n_B` to a sweet spot then falls; for
+//! the sparse graph it stays flat near its (low) ideal.
+
+use distgnn_bench::{header, print_table};
+use distgnn_cachesim::CacheConfig;
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_kernels::instrumented::sweep_blocks;
+use distgnn_kernels::LoopOrder;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    header("Table 3 — f_V cache reuse vs number of blocks (n_B)");
+
+    let block_counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let cache = CacheConfig::llc_model();
+    println!(
+        "(cache model: {} KiB, {}-way, {} B lines)",
+        cache.capacity >> 10,
+        cache.associativity,
+        cache.line_size
+    );
+
+    let mut rows = Vec::new();
+    for cfg in [ScaledConfig::reddit_s(), ScaledConfig::products_s()] {
+        let cfg = cfg.scaled_by(scale);
+        let ds = Dataset::generate(&cfg);
+        let stats = distgnn_graph::stats::graph_stats(&ds.graph);
+        let reports =
+            sweep_blocks(&ds.graph, ds.feat_dim(), LoopOrder::FeatureStrips, &block_counts, cache);
+        let mut row = vec![
+            ds.name.clone(),
+            format!("{:.5}", stats.density),
+            format!("{:.1}", stats.avg_degree),
+        ];
+        row.extend(
+            reports
+                .iter()
+                .map(|(_, r)| format!("{:.1}", r.traffic.overall_reuse)),
+        );
+        rows.push(row);
+    }
+    let mut cols: Vec<String> = vec!["dataset".into(), "density".into(), "ideal".into()];
+    cols.extend(block_counts.iter().map(|b| format!("n_B={b}")));
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    print_table(&col_refs, &rows);
+    println!();
+    println!("'ideal' = average in-degree (paper: max possible reuse). Paper's Reddit row");
+    println!("rises 3.1 -> 27.0 at n_B=16 then falls; Products stays ~2 at every n_B.");
+}

@@ -1,0 +1,117 @@
+//! Tables 7 and 8: aggregation work of Dist-DGL's sampled mini-batch
+//! training vs DistGNN's complete-neighbourhood full-batch training.
+//!
+//! Part (a) reproduces both tables at paper scale analytically (the
+//! tables themselves are analytic: vertices × degree × feats).
+//! Part (b) measures the same quantities on the scaled Products
+//! dataset with the real samplers and kernels.
+
+use distgnn_bench::{header, print_table};
+use distgnn_core::minibatch::{MiniBatchTrainer, SamplerConfig};
+use distgnn_core::workmodel::*;
+use distgnn_core::SageConfig;
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_partition::metrics::replication_factor;
+use distgnn_partition::libra_partition;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    header("Tables 7+8 — aggregation work: sampled mini-batch vs full batch");
+
+    println!("\n(a) Paper scale, OGBN-Products (B Ops):");
+    let hops = table7_paper_hops();
+    let mut rows = Vec::new();
+    for h in &hops {
+        rows.push(vec![
+            format!("hop-{}", h.hop),
+            format!("{}", h.vertices),
+            format!("{:.0}", h.avg_degree),
+            format!("{}", h.feats),
+            format!("{:.3}", h.bops()),
+        ]);
+    }
+    rows.push(vec![
+        "1 mini-batch".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        format!("{:.3}", minibatch_bops(&hops)),
+    ]);
+    rows.push(vec![
+        "1 socket/epoch".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        format!("{:.2}", table7_per_socket_bops(&hops, 196_615, 1, 2000)),
+    ]);
+    rows.push(vec![
+        "16 sockets/epoch".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        format!("{:.2}", table7_per_socket_bops(&hops, 196_615, 16, 2000)),
+    ]);
+    print_table(&["Dist-DGL (Table 7)", "#vertices", "deg", "#feats", "B Ops"], &rows);
+
+    let mut rows = Vec::new();
+    for (sockets, rf) in [(1u64, 1.0f64), (16, 3.90)] {
+        let pv = partition_vertices(2_449_029, rf, sockets);
+        for h in table8_hops(pv, 51.5, &[100, 256, 256]) {
+            rows.push(vec![
+                format!("{} socket hop-{}", sockets, h.hop),
+                format!("{}", h.vertices),
+                format!("{:.1}", h.avg_degree),
+                format!("{}", h.feats),
+                format!("{:.2}", h.bops()),
+            ]);
+        }
+        rows.push(vec![
+            format!("{sockets} socket full batch"),
+            "".into(),
+            "".into(),
+            "".into(),
+            format!("{:.2}", table8_full_batch_bops(pv, 51.5, &[100, 256, 256])),
+        ]);
+    }
+    println!();
+    print_table(&["DistGNN (Table 8)", "#verts/part", "deg", "#feats", "B Ops"], &rows);
+
+    let r1 = table8_full_batch_bops(2_449_029, 51.5, &[100, 256, 256])
+        / table7_per_socket_bops(&hops, 196_615, 1, 2000);
+    let pv16 = partition_vertices(2_449_029, 3.90, 16);
+    let r16 = table8_full_batch_bops(pv16, 51.5, &[100, 256, 256])
+        / table7_per_socket_bops(&hops, 196_615, 16, 2000);
+    println!("\nWork ratio full-batch / sampled: {r1:.1}x (1 socket), {r16:.1}x (16 sockets)");
+    println!("Paper: ~4x and ~13x.");
+
+    println!("\n(b) Measured on products-s (scale {scale}):");
+    let ds = Dataset::generate(&ScaledConfig::products_s().scaled_by(scale));
+    let model = SageConfig::standard_shape(ds.feat_dim(), ds.num_classes, 64, 1);
+    let mut mb = MiniBatchTrainer::new(&model, SamplerConfig::paper_default(512, 3), 0.01);
+    let e = mb.train_epoch(&ds);
+    // Full-batch aggregation ops: every edge, fwd+bwd, per layer input width.
+    let full_ops: u64 = model
+        .layer_dims()
+        .iter()
+        .map(|&(din, _)| 2 * ds.graph.num_edges() as u64 * din as u64)
+        .sum();
+    let rf8 = replication_factor(&libra_partition(&ds.graph.to_edge_list(), 8));
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "sampled mini-batch epoch".into(),
+        format!("{:.3}", e.aggregation_ops as f64 / 1e9),
+    ]);
+    rows.push(vec![
+        "full-batch epoch (1 socket)".into(),
+        format!("{:.3}", full_ops as f64 / 1e9),
+    ]);
+    rows.push(vec![
+        "full-batch epoch (8 sockets, per socket)".into(),
+        format!("{:.3}", full_ops as f64 * rf8 / 8.0 / 1e9),
+    ]);
+    rows.push(vec![
+        "measured ratio full/sampled (1 socket)".into(),
+        format!("{:.1}x", full_ops as f64 / e.aggregation_ops as f64),
+    ]);
+    print_table(&["quantity", "B Ops"], &rows);
+}

@@ -1,0 +1,94 @@
+//! Table 9: epoch time of Dist-DGL-style sampled mini-batch training
+//! vs DistGNN full-batch (cd-5), on the Products-like dataset.
+//!
+//! Both trainers run for real at matched scale. The paper's claim:
+//! despite doing 4–13x more aggregation work, DistGNN's epoch time is
+//! comparable (11 s vs 20 s on 1 socket; 1.9 s vs 1.5 s on 16) because
+//! complete-neighbourhood aggregation vectorizes and streams where
+//! sampling gathers.
+
+use distgnn_bench::{header, print_table, secs};
+use distgnn_core::dist_minibatch::run_dist_minibatch;
+use distgnn_core::minibatch::{MiniBatchTrainer, SamplerConfig};
+use distgnn_core::single::{Trainer, TrainerConfig};
+use distgnn_core::{DistConfig, DistMode, DistTrainer, SageConfig};
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_kernels::AggregationConfig;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let epochs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    header("Table 9 — epoch time: Dist-DGL sampled vs DistGNN cd-5");
+
+    let ds = Dataset::generate(&ScaledConfig::products_s().scaled_by(scale));
+    let model = SageConfig::standard_shape(ds.feat_dim(), ds.num_classes, 64, 0xD15);
+
+    // Dist-DGL-style, 1 socket.
+    let mut mb = MiniBatchTrainer::new(&model, SamplerConfig::paper_default(2000, 3), 0.01);
+    let mb_epochs: Vec<_> = (0..epochs).map(|_| mb.train_epoch(&ds)).collect();
+    let mb_time = mb_epochs.iter().map(|e| e.epoch_time).sum::<std::time::Duration>()
+        / epochs.max(1) as u32;
+
+    // DistGNN single socket (optimized kernel).
+    let single_cfg = TrainerConfig {
+        model: model.clone(),
+        kernel: AggregationConfig::optimized(2),
+        lr: 0.01,
+        weight_decay: 5e-4,
+        epochs,
+    };
+    let single = Trainer::run(&ds, &single_cfg);
+
+    // DistGNN cd-5 on a small threaded cluster (the 16-socket analogue
+    // at reproduction scale).
+    let k = 8;
+    let dist_cfg = DistConfig {
+        model: model.clone(),
+        kernel: AggregationConfig::optimized(1),
+        mode: DistMode::CdR { delay: 5 },
+        num_parts: k,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        epochs: epochs.max(12),
+        seed: 0xD157,
+        wire_precision: distgnn_core::dist::WirePrecision::Fp32,
+    };
+    let dist = DistTrainer::run(&ds, &dist_cfg);
+
+    // Dist-DGL-style distributed mini-batch at the same rank count.
+    let mb_dist = run_dist_minibatch(
+        &ds,
+        &model,
+        &SamplerConfig::paper_default(2000, 3),
+        k,
+        epochs,
+        0.01,
+    );
+
+    let rows = vec![
+        vec!["Dist-DGL sampled, 1 socket".into(), secs(mb_time)],
+        vec![
+            format!("Dist-DGL sampled, {k} ranks (threaded)"),
+            secs(mb_dist.mean_epoch_time),
+        ],
+        vec!["DistGNN full-batch, 1 socket".into(), secs(single.mean_epoch_time())],
+        vec![
+            format!("DistGNN cd-5, {k} ranks (threaded)"),
+            secs(dist.mean_epoch_time(DistMode::CdR { delay: 5 })),
+        ],
+    ];
+    print_table(&["configuration", "epoch time (s)"], &rows);
+    println!();
+    println!(
+        "Aggregation work: sampled {:.2} B ops/epoch vs full-batch {:.2} B ops/epoch.",
+        mb_epochs[0].aggregation_ops as f64 / 1e9,
+        model
+            .layer_dims()
+            .iter()
+            .map(|&(din, _)| 2.0 * ds.graph.num_edges() as f64 * din as f64)
+            .sum::<f64>()
+            / 1e9
+    );
+    println!("Paper: Dist-DGL 20 s vs DistGNN 11 s on 1 socket (DistGNN faster despite");
+    println!("~4x more work); 1.5 s vs 1.9 s on 16 sockets (comparable).");
+}

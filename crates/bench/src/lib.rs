@@ -1,0 +1,89 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index) and prints it in a plain
+//! text format that EXPERIMENTS.md records next to the paper's values.
+
+use std::time::Duration;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(20)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(20)));
+}
+
+/// Prints an aligned text table. `rows` are formatted cells.
+pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Seconds with 4 significant decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Milliseconds with 2 decimals.
+pub fn millis(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// A ratio as `N.NNx`.
+pub fn speedup(base: Duration, new: Duration) -> String {
+    if new.is_zero() {
+        return "inf".into();
+    }
+    format!("{:.2}x", base.as_secs_f64() / new.as_secs_f64())
+}
+
+/// Mebibytes with 1 decimal.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.5000");
+        assert_eq!(millis(Duration::from_micros(2500)), "2.50");
+        assert_eq!(
+            speedup(Duration::from_secs(2), Duration::from_secs(1)),
+            "2.00x"
+        );
+        assert_eq!(mib(1 << 20), "1.0");
+        assert_eq!(speedup(Duration::from_secs(1), Duration::ZERO), "inf");
+    }
+
+    #[test]
+    fn table_does_not_panic_on_ragged_rows() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into(), "4".into()]],
+        );
+    }
+}

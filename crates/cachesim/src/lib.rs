@@ -1,0 +1,21 @@
+//! Cache and memory-traffic model for the DistGNN reproduction.
+//!
+//! The paper's shared-memory analysis (§6.2, Table 3, Figures 3–4)
+//! reports *cache reuse* of the source feature matrix and *bytes read /
+//! written to memory* as functions of the number of source blocks
+//! `n_B`. On the authors' machine those come from hardware counters; we
+//! replay the aggregation kernel's exact access stream through a
+//! set-associative write-back LRU cache model instead, which preserves
+//! the quantity being measured (the locality of the loop nest) without
+//! the hardware.
+//!
+//! Addresses are synthetic: each matrix (`f_V`, `f_O`, `f_E`) is mapped
+//! to a disjoint region of a flat address space, and the instrumented
+//! kernels in `distgnn-kernels` emit one access per feature-vector
+//! touch.
+
+pub mod cache;
+pub mod traffic;
+
+pub use cache::{AccessKind, CacheConfig, CacheSim, Region, RegionStats};
+pub use traffic::TrafficReport;

@@ -1,0 +1,96 @@
+//! Property tests for the cache model (DESIGN.md invariant 7).
+
+use distgnn_cachesim::{AccessKind, CacheConfig, CacheSim, Region};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (6u32..9, 1usize..5, 2usize..6).prop_map(|(line_pow, assoc, sets_pow)| {
+        let line_size = 1usize << line_pow;
+        let associativity = assoc;
+        let capacity = line_size * associativity * (1 << sets_pow);
+        CacheConfig { capacity, line_size, associativity }
+    })
+}
+
+fn arb_accesses() -> impl Strategy<Value = Vec<(u64, usize, bool)>> {
+    proptest::collection::vec((0u64..8192, 1usize..64, any::<bool>()), 1..300)
+}
+
+proptest! {
+    #[test]
+    fn hits_bounded_by_accesses(cfg in arb_config(), accs in arb_accesses()) {
+        let mut sim = CacheSim::new(cfg);
+        for (addr, len, write) in accs {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            sim.access(Region::Other, kind, addr, len);
+        }
+        sim.flush();
+        let s = sim.total_stats();
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert_eq!(s.misses(), s.lines_fetched);
+        // Write-backs can never exceed fetches (write-allocate policy:
+        // every dirty line was fetched first).
+        prop_assert!(s.lines_written_back <= s.lines_fetched);
+    }
+
+    #[test]
+    fn read_only_streams_never_write_back(cfg in arb_config(), accs in arb_accesses()) {
+        let mut sim = CacheSim::new(cfg);
+        for (addr, len, _) in accs {
+            sim.access(Region::Other, AccessKind::Read, addr, len);
+        }
+        sim.flush();
+        prop_assert_eq!(sim.total_stats().lines_written_back, 0);
+        prop_assert_eq!(sim.bytes_written(), 0);
+    }
+
+    #[test]
+    fn bytes_are_line_multiples(cfg in arb_config(), accs in arb_accesses()) {
+        let mut sim = CacheSim::new(cfg);
+        for (addr, len, write) in accs {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            sim.access(Region::SourceFeatures, kind, addr, len);
+        }
+        sim.flush();
+        prop_assert_eq!(sim.bytes_read() % cfg.line_size as u64, 0);
+        prop_assert_eq!(sim.bytes_written() % cfg.line_size as u64, 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_fetches_once(cfg in arb_config(), reps in 2usize..6) {
+        // Touch fewer distinct lines than the cache holds, repeatedly:
+        // every line is fetched exactly once (fully-associative-safe
+        // subset: stay within one way per set).
+        let sim_lines = (cfg.capacity / cfg.line_size / cfg.associativity).max(1);
+        let mut sim = CacheSim::new(cfg);
+        for _ in 0..reps {
+            for l in 0..sim_lines as u64 {
+                sim.access(Region::Other, AccessKind::Read, l * cfg.line_size as u64, 1);
+            }
+        }
+        let s = sim.total_stats();
+        prop_assert_eq!(s.lines_fetched, sim_lines as u64);
+        prop_assert_eq!(s.accesses, (sim_lines * reps) as u64);
+    }
+
+    #[test]
+    fn region_stats_sum_to_total(cfg in arb_config(), accs in arb_accesses()) {
+        let mut sim = CacheSim::new(cfg);
+        let regions = [
+            Region::SourceFeatures,
+            Region::OutputFeatures,
+            Region::EdgeFeatures,
+            Region::Other,
+        ];
+        for (i, (addr, len, write)) in accs.iter().enumerate() {
+            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+            sim.access(regions[i % 4], kind, *addr, *len);
+        }
+        sim.flush();
+        let total = sim.total_stats();
+        let sum_acc: u64 = regions.iter().map(|&r| sim.region_stats(r).accesses).sum();
+        let sum_fetch: u64 = regions.iter().map(|&r| sim.region_stats(r).lines_fetched).sum();
+        prop_assert_eq!(total.accesses, sum_acc);
+        prop_assert_eq!(total.lines_fetched, sum_fetch);
+    }
+}

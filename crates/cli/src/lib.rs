@@ -1,0 +1,212 @@
+//! Argument parsing and command dispatch for the `distgnn` CLI.
+//!
+//! Hand-rolled parsing (no external dependency): the CLI surface is
+//! small and stable. Split from `main.rs` so the parser is unit-tested.
+
+use distgnn_core::dist::WirePrecision;
+use distgnn_core::DistMode;
+use distgnn_graph::ScaledConfig;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cli {
+    pub command: Command,
+    pub dataset: String,
+    pub scale: f64,
+    pub epochs: usize,
+    pub sockets: usize,
+    pub mode: DistMode,
+    pub lr: f32,
+    pub wire: WirePrecision,
+    pub blocks: Option<usize>,
+    pub seed: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Single-socket full-batch training.
+    Train,
+    /// Distributed training on the simulated cluster.
+    DistTrain,
+    /// Print dataset statistics and partition quality.
+    Inspect,
+    /// Print usage.
+    Help,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            command: Command::Help,
+            dataset: "products".into(),
+            scale: 1.0,
+            epochs: 50,
+            sockets: 4,
+            mode: DistMode::CdR { delay: 5 },
+            lr: 0.01,
+            wire: WirePrecision::Fp32,
+            blocks: None,
+            seed: 0xD15,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+distgnn — DistGNN (SC'21) reproduction trainer
+
+USAGE:
+    distgnn <COMMAND> [OPTIONS]
+
+COMMANDS:
+    train         single-socket full-batch training
+    dist-train    distributed training on a simulated multi-socket cluster
+    inspect       dataset statistics and Libra partition quality
+    help          show this text
+
+OPTIONS:
+    --dataset <am|reddit|products|proteins|papers>   (default products)
+    --scale <f64>        dataset scale factor         (default 1.0)
+    --epochs <usize>     training epochs              (default 50)
+    --sockets <usize>    simulated sockets            (default 4)
+    --mode <0c|cd-0|cd-R>  distributed algorithm      (default cd-5)
+    --lr <f32>           learning rate                (default 0.01)
+    --wire <fp32|bf16|fp16>  aggregate wire format    (default fp32)
+    --blocks <usize>     kernel cache blocks n_B      (default auto)
+    --seed <u64>         partitioning seed            (default 0xD15)
+";
+
+/// Parses an argument vector (excluding argv[0]).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.iter();
+    cli.command = match it.next().map(String::as_str) {
+        Some("train") => Command::Train,
+        Some("dist-train") => Command::DistTrain,
+        Some("inspect") => Command::Inspect,
+        Some("help") | None => Command::Help,
+        Some(other) => return Err(format!("unknown command `{other}`")),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("flag `{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--dataset" => cli.dataset = value()?.clone(),
+            "--scale" => cli.scale = parse_num(flag, value()?)?,
+            "--epochs" => cli.epochs = parse_num(flag, value()?)?,
+            "--sockets" => cli.sockets = parse_num(flag, value()?)?,
+            "--lr" => cli.lr = parse_num(flag, value()?)?,
+            "--seed" => cli.seed = parse_num(flag, value()?)?,
+            "--blocks" => cli.blocks = Some(parse_num(flag, value()?)?),
+            "--mode" => cli.mode = parse_mode(value()?)?,
+            "--wire" => {
+                cli.wire = match value()?.as_str() {
+                    "fp32" => WirePrecision::Fp32,
+                    "bf16" => WirePrecision::Bf16,
+                    "fp16" => WirePrecision::Fp16,
+                    w => return Err(format!("unknown wire format `{w}`")),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid value `{v}` for `{flag}`"))
+}
+
+/// Parses `0c`, `cd-0`, `cd-5`, `cd-<r>`.
+pub fn parse_mode(s: &str) -> Result<DistMode, String> {
+    match s {
+        "0c" => Ok(DistMode::Oc),
+        "cd-0" => Ok(DistMode::Cd0),
+        other => other
+            .strip_prefix("cd-")
+            .and_then(|r| r.parse::<usize>().ok())
+            .map(|delay| DistMode::CdR { delay })
+            .ok_or_else(|| format!("unknown mode `{other}` (want 0c, cd-0 or cd-<r>)")),
+    }
+}
+
+/// Resolves a dataset name to its scaled config.
+pub fn dataset_config(name: &str, scale: f64) -> Result<ScaledConfig, String> {
+    let base = match name {
+        "am" => ScaledConfig::am_s(),
+        "reddit" => ScaledConfig::reddit_s(),
+        "products" => ScaledConfig::products_s(),
+        "proteins" => ScaledConfig::proteins_s(),
+        "papers" => ScaledConfig::papers_s(),
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    Ok(base.scaled_by(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let cli = parse(&argv(
+            "dist-train --dataset proteins --scale 0.5 --epochs 10 --sockets 8 \
+             --mode cd-3 --lr 0.05 --wire bf16 --blocks 4 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::DistTrain);
+        assert_eq!(cli.dataset, "proteins");
+        assert_eq!(cli.scale, 0.5);
+        assert_eq!(cli.epochs, 10);
+        assert_eq!(cli.sockets, 8);
+        assert_eq!(cli.mode, DistMode::CdR { delay: 3 });
+        assert_eq!(cli.lr, 0.05);
+        assert_eq!(cli.wire, WirePrecision::Bf16);
+        assert_eq!(cli.blocks, Some(4));
+        assert_eq!(cli.seed, 7);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cli = parse(&argv("train")).unwrap();
+        assert_eq!(cli.command, Command::Train);
+        assert_eq!(cli.dataset, "products");
+        assert_eq!(cli.mode, DistMode::CdR { delay: 5 });
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn rejects_unknown_command_flag_and_values() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("train --what 3")).is_err());
+        assert!(parse(&argv("train --epochs nope")).is_err());
+        assert!(parse(&argv("train --epochs")).is_err());
+        assert!(parse(&argv("train --wire int8")).is_err());
+    }
+
+    #[test]
+    fn mode_parsing_covers_paper_names() {
+        assert_eq!(parse_mode("0c").unwrap(), DistMode::Oc);
+        assert_eq!(parse_mode("cd-0").unwrap(), DistMode::Cd0);
+        assert_eq!(parse_mode("cd-5").unwrap(), DistMode::CdR { delay: 5 });
+        assert!(parse_mode("cd-x").is_err());
+        assert!(parse_mode("sync").is_err());
+    }
+
+    #[test]
+    fn dataset_lookup() {
+        assert!(dataset_config("reddit", 1.0).is_ok());
+        assert!(dataset_config("webscale", 1.0).is_err());
+        let c = dataset_config("papers", 0.1).unwrap();
+        assert_eq!(c.num_vertices, 5000);
+    }
+}

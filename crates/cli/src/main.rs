@@ -1,0 +1,120 @@
+//! `distgnn` — command-line trainer for the DistGNN reproduction.
+
+use distgnn_cli::{dataset_config, parse, Cli, Command, USAGE};
+use distgnn_core::single::{Trainer, TrainerConfig};
+use distgnn_core::{DistConfig, DistTrainer};
+use distgnn_graph::{stats, Dataset};
+use distgnn_kernels::AggregationConfig;
+use distgnn_partition::metrics::{edge_balance, replication_factor};
+use distgnn_partition::libra_partition;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match cli.command {
+        Command::Help => print!("{USAGE}"),
+        Command::Train => train(&cli),
+        Command::DistTrain => dist_train(&cli),
+        Command::Inspect => inspect(&cli),
+    }
+}
+
+fn load(cli: &Cli) -> Dataset {
+    let cfg = dataset_config(&cli.dataset, cli.scale).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let ds = Dataset::generate(&cfg);
+    let s = stats::graph_stats(&ds.graph);
+    println!(
+        "{}: {} vertices, {} edges, avg degree {:.1}, d={}, {} classes",
+        ds.name, s.num_vertices, s.num_edges, s.avg_degree, ds.feat_dim(), ds.num_classes
+    );
+    ds
+}
+
+fn kernel(cli: &Cli, ds: &Dataset) -> AggregationConfig {
+    let n_b = cli.blocks.unwrap_or_else(|| {
+        AggregationConfig::auto_blocks(ds.num_vertices(), ds.feat_dim(), 1 << 20)
+    });
+    AggregationConfig::optimized(n_b)
+}
+
+fn train(cli: &Cli) {
+    let ds = load(cli);
+    let mut cfg = TrainerConfig::for_dataset(&ds, kernel(cli, &ds), cli.epochs);
+    cfg.lr = cli.lr;
+    let report = Trainer::run(&ds, &cfg);
+    for (i, e) in report.epochs.iter().enumerate() {
+        if i % 10 == 0 || i + 1 == report.epochs.len() {
+            println!(
+                "epoch {i:>4}  loss {:>8.4}  train-acc {:>5.1}%  {:>7.1} ms (AP {:>6.1} ms)",
+                e.loss,
+                e.train_accuracy * 100.0,
+                e.epoch_time.as_secs_f64() * 1e3,
+                e.agg_time.as_secs_f64() * 1e3
+            );
+        }
+    }
+    println!("test accuracy: {:.2}%", report.test_accuracy * 100.0);
+}
+
+fn dist_train(cli: &Cli) {
+    let ds = load(cli);
+    let mut cfg = DistConfig::new(&ds, cli.mode, cli.sockets, cli.epochs);
+    cfg.lr = cli.lr;
+    cfg.kernel = kernel(cli, &ds);
+    cfg.wire_precision = cli.wire;
+    cfg.seed = cli.seed;
+    println!(
+        "mode {}, {} sockets, wire {}",
+        cli.mode.name(),
+        cli.sockets,
+        cli.wire.name()
+    );
+    let report = DistTrainer::run(&ds, &cfg);
+    for (i, e) in report.epochs.iter().enumerate() {
+        if i % 10 == 0 || i + 1 == report.epochs.len() {
+            println!(
+                "epoch {i:>4}  loss {:>8.4}  {:>7.1} ms  (LAT {:>6.1} / RAT {:>6.1} ms)",
+                e.loss,
+                e.epoch_time.as_secs_f64() * 1e3,
+                e.lat.as_secs_f64() * 1e3,
+                e.rat.as_secs_f64() * 1e3
+            );
+        }
+    }
+    let sent: u64 = report.per_rank_comm.iter().map(|s| s.bytes_sent).sum();
+    println!(
+        "test accuracy: {:.2}%   total sent: {:.1} MiB",
+        report.test_accuracy * 100.0,
+        sent as f64 / (1 << 20) as f64
+    );
+}
+
+fn inspect(cli: &Cli) {
+    let ds = load(cli);
+    let s = stats::graph_stats(&ds.graph);
+    println!(
+        "density {:.6}, max degree {}, isolated {}",
+        s.density, s.max_degree, s.isolated
+    );
+    let edges = ds.graph.to_edge_list();
+    println!("\nLibra partition quality:");
+    println!("{:>8} {:>8} {:>8}", "k", "repl", "balance");
+    for k in [2usize, 4, 8, 16, 32] {
+        let p = libra_partition(&edges, k);
+        println!(
+            "{:>8} {:>8.2} {:>8.3}",
+            k,
+            replication_factor(&p),
+            edge_balance(&p)
+        );
+    }
+}

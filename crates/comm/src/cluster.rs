@@ -1,0 +1,438 @@
+//! Thread-per-rank SPMD cluster with collectives and tagged mailboxes.
+
+use crate::stats::{CommSnapshot, CommStats};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Barrier;
+
+/// Shared state of one cluster run.
+struct Shared {
+    size: usize,
+    barrier: Barrier,
+    /// AlltoAll staging: `xchg[src][dst]` holds the in-flight payload.
+    xchg: Vec<Vec<Mutex<Option<Vec<f32>>>>>,
+    /// AllReduce staging: one contribution slot per rank.
+    reduce: Vec<Mutex<Vec<f32>>>,
+    /// Tagged async mailboxes: `tagged[src][dst]` maps tag -> payload.
+    tagged: Vec<Vec<Mutex<HashMap<u64, Vec<f32>>>>>,
+    stats: Vec<CommStats>,
+}
+
+impl Shared {
+    fn new(size: usize) -> Self {
+        Shared {
+            size,
+            barrier: Barrier::new(size),
+            xchg: (0..size)
+                .map(|_| (0..size).map(|_| Mutex::new(None)).collect())
+                .collect(),
+            reduce: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            tagged: (0..size)
+                .map(|_| (0..size).map(|_| Mutex::new(HashMap::new())).collect())
+                .collect(),
+            stats: (0..size).map(|_| CommStats::new()).collect(),
+        }
+    }
+}
+
+/// The SPMD entry point.
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `f` on `num_ranks` concurrent ranks and returns their
+    /// results in rank order. Panics in any rank propagate.
+    pub fn run<F, R>(num_ranks: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        assert!(num_ranks >= 1, "need at least one rank");
+        let shared = Shared::new(num_ranks);
+        let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_ranks);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let shared = &shared;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = RankCtx { rank, shared };
+                    *slot = Some(f(&mut ctx));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank panicked");
+            }
+        });
+        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+    }
+
+    /// Like [`Cluster::run`] but also returns the per-rank
+    /// communication snapshots accumulated during the run.
+    pub fn run_with_stats<F, R>(num_ranks: usize, f: F) -> (Vec<R>, Vec<CommSnapshot>)
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        assert!(num_ranks >= 1);
+        let shared = Shared::new(num_ranks);
+        let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_ranks);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let shared = &shared;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = RankCtx { rank, shared };
+                    *slot = Some(f(&mut ctx));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank panicked");
+            }
+        });
+        let snaps = shared.stats.iter().map(CommStats::snapshot).collect();
+        (
+            results.into_iter().map(|r| r.expect("rank produced no result")).collect(),
+            snaps,
+        )
+    }
+}
+
+/// Per-rank handle into the cluster.
+pub struct RankCtx<'a> {
+    rank: usize,
+    shared: &'a Shared,
+}
+
+impl RankCtx<'_> {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Element-wise sum-AllReduce: after the call, `buf` on every rank
+    /// holds the sum of all ranks' inputs.
+    ///
+    /// # Panics
+    /// Panics if buffers disagree in length across ranks.
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        let k = self.size();
+        if k == 1 {
+            return;
+        }
+        *self.shared.reduce[self.rank].lock() = buf.to_vec();
+        let wire = (buf.len() * 4) as u64;
+        // Ring-equivalent volume: each rank ships its buffer once.
+        self.shared.stats[self.rank].record_send(wire);
+        self.barrier();
+        // Accumulate in ascending rank order on every rank, so all
+        // replicas see bit-identical sums (fp addition is order
+        // sensitive; divergent orders would desynchronize the models).
+        buf.iter_mut().for_each(|b| *b = 0.0);
+        for (r, slot) in self.shared.reduce.iter().enumerate() {
+            let other = slot.lock();
+            assert_eq!(other.len(), buf.len(), "all_reduce_sum length mismatch");
+            for (b, o) in buf.iter_mut().zip(other.iter()) {
+                *b += o;
+            }
+            if r != self.rank {
+                self.shared.stats[self.rank].record_recv(wire);
+            }
+        }
+        self.barrier();
+    }
+
+    /// Variable AlltoAll: sends `outgoing[p]` to rank `p` and returns
+    /// the payloads received from every rank (index = source rank; own
+    /// slot is `outgoing[self]` passed through).
+    ///
+    /// # Panics
+    /// Panics if `outgoing.len() != size`.
+    pub fn all_to_all_v(&self, outgoing: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        let k = self.size();
+        assert_eq!(outgoing.len(), k, "need one payload per rank");
+        let mut own = None;
+        for (dst, payload) in outgoing.into_iter().enumerate() {
+            if dst == self.rank {
+                own = Some(payload);
+                continue;
+            }
+            self.shared.stats[self.rank].record_send((payload.len() * 4) as u64);
+            *self.shared.xchg[self.rank][dst].lock() = Some(payload);
+        }
+        self.barrier();
+        let mut incoming = Vec::with_capacity(k);
+        for src in 0..k {
+            if src == self.rank {
+                incoming.push(own.take().unwrap_or_default());
+                continue;
+            }
+            let payload = self.shared.xchg[src][self.rank]
+                .lock()
+                .take()
+                .expect("peer must post its payload before the barrier");
+            self.shared.stats[self.rank].record_recv((payload.len() * 4) as u64);
+            incoming.push(payload);
+        }
+        self.barrier();
+        incoming
+    }
+
+    /// Posts `payload` for `dst` under `tag` without blocking. The
+    /// `cd-r` algorithm tags with the sending epoch; the receiver asks
+    /// for the tag `r` epochs later.
+    pub fn send_tagged(&self, dst: usize, tag: u64, payload: Vec<f32>) {
+        assert!(dst < self.size(), "destination out of range");
+        self.shared.stats[self.rank].record_send((payload.len() * 4) as u64);
+        self.shared.tagged[self.rank][dst].lock().insert(tag, payload);
+    }
+
+    /// Retrieves (and removes) the payload `src` posted under `tag`,
+    /// if it has arrived.
+    pub fn try_recv_tagged(&self, src: usize, tag: u64) -> Option<Vec<f32>> {
+        assert!(src < self.size(), "source out of range");
+        let payload = self.shared.tagged[src][self.rank].lock().remove(&tag);
+        if let Some(p) = &payload {
+            self.shared.stats[self.rank].record_recv((p.len() * 4) as u64);
+        }
+        payload
+    }
+
+    /// This rank's communication counters.
+    pub fn stats(&self) -> CommSnapshot {
+        self.shared.stats[self.rank].snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = Cluster::run(4, |ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let out = Cluster::run(1, |ctx| {
+            let mut buf = [1.0f32, 2.0];
+            ctx.all_reduce_sum(&mut buf);
+            buf
+        });
+        assert_eq!(out[0], [1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        let out = Cluster::run(4, |ctx| {
+            let mut buf = vec![ctx.rank() as f32 + 1.0; 3];
+            ctx.all_reduce_sum(&mut buf);
+            buf
+        });
+        // 1 + 2 + 3 + 4 = 10 on every rank.
+        for r in out {
+            assert_eq!(r, vec![10.0, 10.0, 10.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_is_reusable_across_rounds() {
+        let out = Cluster::run(3, |ctx| {
+            let mut total = 0.0;
+            for round in 0..5 {
+                let mut buf = vec![(ctx.rank() + round) as f32];
+                ctx.all_reduce_sum(&mut buf);
+                total += buf[0];
+            }
+            total
+        });
+        // Round r sums to 3r + 3; total over r = 0..5 is 45.
+        assert!(out.iter().all(|&t| (t - 45.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn all_to_all_routes_payloads() {
+        let out = Cluster::run(3, |ctx| {
+            let outgoing: Vec<Vec<f32>> = (0..3)
+                .map(|dst| vec![(ctx.rank() * 10 + dst) as f32])
+                .collect();
+            ctx.all_to_all_v(outgoing)
+        });
+        // Rank d receives from src s the value s*10 + d.
+        for (d, incoming) in out.iter().enumerate() {
+            for (s, payload) in incoming.iter().enumerate() {
+                assert_eq!(payload, &vec![(s * 10 + d) as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_with_empty_payloads() {
+        let out = Cluster::run(2, |ctx| {
+            let outgoing = vec![Vec::new(), Vec::new()];
+            ctx.all_to_all_v(outgoing)
+        });
+        assert!(out.iter().all(|inc| inc.iter().all(Vec::is_empty)));
+    }
+
+    #[test]
+    fn tagged_messages_arrive_across_epochs() {
+        let out = Cluster::run(2, |ctx| {
+            let peer = 1 - ctx.rank();
+            // Epoch 0: send tagged with epoch 0; nothing to receive yet.
+            ctx.send_tagged(peer, 0, vec![ctx.rank() as f32]);
+            assert!(ctx.try_recv_tagged(peer, 99).is_none());
+            ctx.barrier();
+            // Epoch 2 (delay r = 2): pick up tag 0.
+            let got = ctx.try_recv_tagged(peer, 0).expect("delayed payload");
+            // Message is consumed.
+            assert!(ctx.try_recv_tagged(peer, 0).is_none());
+            got[0]
+        });
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn stats_count_collective_traffic() {
+        let (_, snaps) = Cluster::run_with_stats(2, |ctx| {
+            let mut buf = vec![0.0f32; 8];
+            ctx.all_reduce_sum(&mut buf);
+            let out = vec![vec![1.0; 4], vec![2.0; 4]];
+            ctx.all_to_all_v(out);
+        });
+        for s in snaps {
+            assert_eq!(s.bytes_sent, 8 * 4 + 4 * 4);
+            assert_eq!(s.bytes_received, 8 * 4 + 4 * 4);
+        }
+    }
+
+    #[test]
+    fn many_ranks_stress() {
+        let out = Cluster::run(16, |ctx| {
+            let mut buf = vec![1.0f32];
+            for _ in 0..10 {
+                ctx.all_reduce_sum(&mut buf);
+                ctx.barrier();
+                buf[0] /= ctx.size() as f32;
+            }
+            buf[0]
+        });
+        assert!(out.iter().all(|&x| (x - 1.0).abs() < 1e-4));
+    }
+}
+
+impl RankCtx<'_> {
+    /// Broadcast from `root`: after the call every rank's `buf` equals
+    /// the root's input.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths disagree or `root` is out of range.
+    pub fn broadcast(&self, buf: &mut [f32], root: usize) {
+        assert!(root < self.size(), "root out of range");
+        if self.size() == 1 {
+            return;
+        }
+        if self.rank == root {
+            *self.shared.reduce[root].lock() = buf.to_vec();
+            self.shared.stats[self.rank].record_send((buf.len() * 4) as u64);
+        }
+        self.barrier();
+        if self.rank != root {
+            let src = self.shared.reduce[root].lock();
+            assert_eq!(src.len(), buf.len(), "broadcast length mismatch");
+            buf.copy_from_slice(&src);
+            self.shared.stats[self.rank].record_recv((buf.len() * 4) as u64);
+        }
+        self.barrier();
+    }
+
+    /// Gathers every rank's `buf` to `root`, which receives them in
+    /// rank order; other ranks receive an empty vec.
+    pub fn gather(&self, buf: &[f32], root: usize) -> Vec<Vec<f32>> {
+        assert!(root < self.size(), "root out of range");
+        *self.shared.reduce[self.rank].lock() = buf.to_vec();
+        if self.rank != root {
+            self.shared.stats[self.rank].record_send((buf.len() * 4) as u64);
+        }
+        self.barrier();
+        let out = if self.rank == root {
+            (0..self.size())
+                .map(|r| {
+                    let v = self.shared.reduce[r].lock().clone();
+                    if r != root {
+                        self.shared.stats[self.rank].record_recv((v.len() * 4) as u64);
+                    }
+                    v
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.barrier();
+        out
+    }
+}
+
+#[cfg(test)]
+mod collective_tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_copies_root_buffer() {
+        let out = Cluster::run(4, |ctx| {
+            let mut buf = vec![ctx.rank() as f32; 3];
+            ctx.broadcast(&mut buf, 2);
+            buf
+        });
+        for r in out {
+            assert_eq!(r, vec![2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_single_rank_is_noop() {
+        let out = Cluster::run(1, |ctx| {
+            let mut buf = vec![7.0f32];
+            ctx.broadcast(&mut buf, 0);
+            buf[0]
+        });
+        assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = Cluster::run(3, |ctx| {
+            let buf = vec![ctx.rank() as f32 * 10.0];
+            ctx.gather(&buf, 1)
+        });
+        assert!(out[0].is_empty());
+        assert_eq!(out[1], vec![vec![0.0], vec![10.0], vec![20.0]]);
+        assert!(out[2].is_empty());
+    }
+
+    #[test]
+    fn collectives_compose_across_rounds() {
+        let out = Cluster::run(3, |ctx| {
+            let mut buf = vec![(ctx.rank() + 1) as f32];
+            ctx.all_reduce_sum(&mut buf); // 6
+            ctx.broadcast(&mut buf, 0);
+            let gathered = ctx.gather(&buf, 0);
+            if ctx.rank() == 0 {
+                gathered.iter().map(|v| v[0]).sum::<f32>()
+            } else {
+                buf[0]
+            }
+        });
+        assert_eq!(out, vec![18.0, 6.0, 6.0]);
+    }
+}

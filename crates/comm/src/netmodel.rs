@@ -1,0 +1,129 @@
+//! α–β (latency–bandwidth) network cost model.
+//!
+//! Used to *project* distributed communication time at socket counts a
+//! single machine cannot host. A transfer of `n` bytes costs
+//! `α + n / β`; collectives compose per their standard algorithms.
+//! Defaults approximate the paper's Mellanox HDR fabric.
+
+/// Latency–bandwidth network model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Per-message latency in seconds (α).
+    pub latency_s: f64,
+    /// Link bandwidth in bytes/second (β).
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkModel {
+    /// HDR InfiniBand-like defaults: 2 µs latency, 20 GB/s effective
+    /// per-socket bandwidth (HDR 200 Gb/s shared by the two sockets of
+    /// each node in the paper's cluster).
+    pub fn hdr_default() -> Self {
+        NetworkModel { latency_s: 2e-6, bandwidth_bps: 20e9 }
+    }
+
+    /// A slow-network variant (10x latency, 1/10 bandwidth) for
+    /// sensitivity studies.
+    pub fn slow() -> Self {
+        NetworkModel { latency_s: 2e-5, bandwidth_bps: 2e9 }
+    }
+
+    /// Point-to-point transfer time for `bytes`.
+    pub fn p2p_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Ring AllReduce on `ranks` ranks of a `bytes` buffer:
+    /// `2·(k−1)` steps, each moving `bytes/k`.
+    pub fn allreduce_time(&self, bytes: u64, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let k = ranks as f64;
+        2.0 * (k - 1.0) * (self.latency_s + (bytes as f64 / k) / self.bandwidth_bps)
+    }
+
+    /// AlltoAllv where this rank sends `send_bytes[p]` to each peer:
+    /// pairwise-exchange algorithm, `k−1` rounds; the per-round cost is
+    /// dominated by the rank's own serialization of its outgoing data.
+    pub fn alltoallv_time(&self, send_bytes: &[u64]) -> f64 {
+        let k = send_bytes.len();
+        if k <= 1 {
+            return 0.0;
+        }
+        let total: u64 = send_bytes
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| p < k)
+            .map(|(_, &b)| b)
+            .sum();
+        (k as f64 - 1.0) * self.latency_s + total as f64 / self.bandwidth_bps
+    }
+
+    /// Time for the slowest rank of an AlltoAllv given the full
+    /// `bytes[src][dst]` matrix (diagonal ignored).
+    pub fn alltoallv_makespan(&self, bytes: &[Vec<u64>]) -> f64 {
+        let k = bytes.len();
+        (0..k)
+            .map(|r| {
+                let sends: Vec<u64> = (0..k).map(|d| if d == r { 0 } else { bytes[r][d] }).collect();
+                let recvs: u64 = (0..k).map(|s| if s == r { 0 } else { bytes[s][r] }).sum();
+                let send_t = self.alltoallv_time(&sends);
+                let recv_t = recvs as f64 / self.bandwidth_bps;
+                send_t.max(recv_t)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_is_affine_in_bytes() {
+        let m = NetworkModel { latency_s: 1.0, bandwidth_bps: 100.0 };
+        assert!((m.p2p_time(0) - 1.0).abs() < 1e-12);
+        assert!((m.p2p_time(200) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_zero_for_single_rank() {
+        let m = NetworkModel::hdr_default();
+        assert_eq!(m.allreduce_time(1 << 20, 1), 0.0);
+        assert!(m.allreduce_time(1 << 20, 2) > 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_sublinearly_with_ranks_for_large_buffers() {
+        let m = NetworkModel::hdr_default();
+        // Bandwidth term saturates at 2*bytes/beta; latency term grows.
+        let t2 = m.allreduce_time(100 << 20, 2);
+        let t64 = m.allreduce_time(100 << 20, 64);
+        assert!(t64 < t2 * 2.5, "t2 {t2} t64 {t64}");
+    }
+
+    #[test]
+    fn alltoall_cost_scales_with_volume() {
+        let m = NetworkModel::hdr_default();
+        let small = m.alltoallv_time(&[0, 1000, 1000, 1000]);
+        let large = m.alltoallv_time(&[0, 1_000_000, 1_000_000, 1_000_000]);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn makespan_is_max_over_ranks() {
+        let m = NetworkModel { latency_s: 0.0, bandwidth_bps: 1.0 };
+        // Rank 0 sends 10 to 1; rank 1 sends 2 to 0.
+        let bytes = vec![vec![0, 10], vec![2, 0]];
+        let t = m.alltoallv_makespan(&bytes);
+        assert!((t - 10.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn slow_network_is_slower() {
+        let fast = NetworkModel::hdr_default();
+        let slow = NetworkModel::slow();
+        assert!(slow.p2p_time(1 << 20) > fast.p2p_time(1 << 20));
+    }
+}

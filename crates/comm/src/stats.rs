@@ -1,0 +1,90 @@
+//! Per-rank communication accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Byte and message counters for one rank. All methods are thread-safe;
+/// the cluster shares one `CommStats` per rank across collectives.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    messages_sent: AtomicU64,
+}
+
+impl CommStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_send(&self, bytes: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_recv(&self, bytes: u64) {
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Plain-data snapshot for reporting.
+    pub fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            bytes_sent: self.bytes_sent(),
+            bytes_received: self.bytes_received(),
+            messages_sent: self.messages_sent(),
+        }
+    }
+}
+
+/// Copyable snapshot of [`CommStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommSnapshot {
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub messages_sent: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CommStats::new();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_recv(70);
+        assert_eq!(s.bytes_sent(), 150);
+        assert_eq!(s.bytes_received(), 70);
+        assert_eq!(s.messages_sent(), 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_sent, 150);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let s = CommStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.record_send(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.bytes_sent(), 8000);
+        assert_eq!(s.messages_sent(), 8000);
+    }
+}

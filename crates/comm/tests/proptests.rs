@@ -1,0 +1,91 @@
+//! Property tests for the communication substrate.
+
+use distgnn_comm::{Cluster, NetworkModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_is_rank_invariant(
+        ranks in 2usize..6,
+        values in proptest::collection::vec(-100.0f32..100.0, 1..20),
+    ) {
+        // Every rank contributes rank-scaled values; all must agree on
+        // the result bit-for-bit (deterministic summation order).
+        let len = values.len();
+        let results = Cluster::run(ranks, |ctx| {
+            let mut buf: Vec<f32> =
+                values.iter().map(|v| v * (ctx.rank() as f32 + 1.0)).collect();
+            ctx.all_reduce_sum(&mut buf);
+            buf
+        });
+        for r in 1..ranks {
+            prop_assert_eq!(&results[0], &results[r]);
+        }
+        // And the value is the expected scaled sum.
+        let scale: f32 = (1..=ranks).map(|r| r as f32).sum();
+        for i in 0..len {
+            prop_assert!((results[0][i] - values[i] * scale).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn alltoall_is_a_permutation(
+        ranks in 2usize..6,
+        payload_len in 0usize..16,
+    ) {
+        let results = Cluster::run(ranks, |ctx| {
+            let outgoing: Vec<Vec<f32>> = (0..ranks)
+                .map(|dst| vec![(ctx.rank() * 100 + dst) as f32; payload_len])
+                .collect();
+            ctx.all_to_all_v(outgoing)
+        });
+        for (dst, incoming) in results.iter().enumerate() {
+            prop_assert_eq!(incoming.len(), ranks);
+            for (src, payload) in incoming.iter().enumerate() {
+                prop_assert_eq!(payload.len(), payload_len);
+                prop_assert!(payload.iter().all(|&x| x == (src * 100 + dst) as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_mailboxes_deliver_each_message_once(
+        ranks in 2usize..5,
+        tags in proptest::collection::hash_set(0u64..50, 1..10),
+    ) {
+        let tags: Vec<u64> = tags.into_iter().collect();
+        let tags_ref = &tags;
+        let results = Cluster::run(ranks, |ctx| {
+            let peer = (ctx.rank() + 1) % ctx.size();
+            for &t in tags_ref {
+                ctx.send_tagged(peer, t, vec![t as f32]);
+            }
+            ctx.barrier();
+            let from = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            let mut got = 0usize;
+            for &t in tags_ref {
+                if let Some(p) = ctx.try_recv_tagged(from, t) {
+                    assert_eq!(p, vec![t as f32]);
+                    got += 1;
+                }
+                // Second receive of the same tag must be empty.
+                assert!(ctx.try_recv_tagged(from, t).is_none());
+            }
+            got
+        });
+        prop_assert!(results.iter().all(|&g| g == tags.len()));
+    }
+
+    #[test]
+    fn network_model_times_are_monotone_in_bytes(
+        b1 in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+        ranks in 2usize..64,
+    ) {
+        let m = NetworkModel::hdr_default();
+        prop_assert!(m.p2p_time(b1 + extra) > m.p2p_time(b1));
+        prop_assert!(m.allreduce_time(b1 + extra, ranks) > m.allreduce_time(b1, ranks));
+    }
+}

@@ -1,0 +1,525 @@
+//! Distributed full-batch trainer (§5, Figures 5–6, Table 5).
+//!
+//! One thread per "socket". Every rank owns one Libra partition, holds
+//! a full model replica (identical seed ⇒ identical init), trains on
+//! its local vertices and AllReduces the parameter gradients each
+//! epoch, exactly as the paper does with `torch.distributed` + OneCCL.
+//!
+//! Loss ownership: a global vertex is *owned* by exactly one rank (its
+//! tree root if split, its only partition otherwise, round-robin if
+//! isolated), so the distributed loss/accuracy sums count every vertex
+//! once and — for `cd-0` — match the single-socket quantities.
+
+use crate::drpa::RankAggregator;
+use crate::model::{apply_flat_grads, flatten_grads, GraphSage, SageConfig};
+use distgnn_comm::stats::CommSnapshot;
+use distgnn_comm::Cluster;
+use distgnn_graph::Dataset;
+use distgnn_kernels::AggregationConfig;
+use distgnn_nn::{Adam, AdamConfig};
+use distgnn_partition::{libra_partition, PartitionedGraph};
+use distgnn_tensor::{reduce, Matrix};
+use std::time::{Duration, Instant};
+
+/// The three distributed algorithms of §5.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistMode {
+    /// Communication-avoiding: clones never synchronize.
+    Oc,
+    /// Synchronous delayed-0: full clone sync every epoch.
+    Cd0,
+    /// Delayed by `delay` epochs with split-vertex binning; `delay = 0`
+    /// degenerates to [`DistMode::Cd0`].
+    CdR { delay: usize },
+}
+
+/// Wire format for partial-aggregate communication. The paper's
+/// conclusion proposes FP16/BF16 to halve communication volume; both
+/// are implemented (compute stays in f32, only payloads are packed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WirePrecision {
+    #[default]
+    Fp32,
+    Bf16,
+    Fp16,
+}
+
+impl WirePrecision {
+    pub fn name(&self) -> &'static str {
+        match self {
+            WirePrecision::Fp32 => "fp32",
+            WirePrecision::Bf16 => "bf16",
+            WirePrecision::Fp16 => "fp16",
+        }
+    }
+}
+
+impl DistMode {
+    /// Paper-style display name (`0c`, `cd-0`, `cd-5`).
+    pub fn name(&self) -> String {
+        match self {
+            DistMode::Oc => "0c".into(),
+            DistMode::Cd0 => "cd-0".into(),
+            DistMode::CdR { delay } => format!("cd-{delay}"),
+        }
+    }
+}
+
+/// Distributed training configuration.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    pub model: SageConfig,
+    pub kernel: AggregationConfig,
+    pub mode: DistMode,
+    pub num_parts: usize,
+    pub lr: f32,
+    pub weight_decay: f32,
+    pub epochs: usize,
+    /// Seed for clone-tree root selection.
+    pub seed: u64,
+    /// Wire format for clone-sync payloads.
+    pub wire_precision: WirePrecision,
+}
+
+impl DistConfig {
+    pub fn new(dataset: &Dataset, mode: DistMode, num_parts: usize, epochs: usize) -> Self {
+        let model = if dataset.name.starts_with("reddit") {
+            SageConfig::reddit_shape(dataset.feat_dim(), dataset.num_classes, 0xD15)
+        } else {
+            SageConfig::standard_shape(dataset.feat_dim(), dataset.num_classes, 64, 0xD15)
+        };
+        DistConfig {
+            model,
+            kernel: AggregationConfig::optimized(1),
+            mode,
+            num_parts,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            epochs,
+            seed: 0xD157,
+            wire_precision: WirePrecision::Fp32,
+        }
+    }
+}
+
+/// Cluster-wide per-epoch measurements (max over ranks for times, sum
+/// for volumes).
+#[derive(Clone, Copy, Debug)]
+pub struct DistEpochReport {
+    pub loss: f32,
+    /// Local aggregation time, forward pass (max over ranks).
+    pub lat: Duration,
+    /// Remote aggregation time incl. pre/post-processing (max).
+    pub rat: Duration,
+    /// Backward aggregation time (max).
+    pub backward_agg: Duration,
+    /// Wall-clock epoch time (max).
+    pub epoch_time: Duration,
+}
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistRunReport {
+    pub epochs: Vec<DistEpochReport>,
+    pub test_accuracy: f32,
+    pub per_rank_comm: Vec<CommSnapshot>,
+    /// Final parameters per rank (for replica-consistency checks).
+    pub final_params: Vec<Vec<f32>>,
+    /// Vertices per partition (split clones included).
+    pub partition_vertices: Vec<usize>,
+    /// Edges per partition.
+    pub partition_edges: Vec<usize>,
+}
+
+impl DistRunReport {
+    /// Mean epoch time over the measurement window. For delayed
+    /// algorithms the paper averages epochs 10–20 (after the pipeline
+    /// fills); we skip the first `2·r + 1` epochs when possible.
+    pub fn mean_epoch_time(&self, mode: DistMode) -> Duration {
+        let skip = match mode {
+            DistMode::CdR { delay } => (2 * delay + 1).min(self.epochs.len().saturating_sub(1)),
+            _ => usize::from(self.epochs.len() > 2),
+        };
+        let slice = &self.epochs[skip..];
+        if slice.is_empty() {
+            return Duration::ZERO;
+        }
+        slice.iter().map(|e| e.epoch_time).sum::<Duration>() / slice.len() as u32
+    }
+
+    pub fn mean_lat(&self) -> Duration {
+        let n = self.epochs.len().max(1) as u32;
+        self.epochs.iter().map(|e| e.lat).sum::<Duration>() / n
+    }
+
+    pub fn mean_rat(&self) -> Duration {
+        let n = self.epochs.len().max(1) as u32;
+        self.epochs.iter().map(|e| e.rat).sum::<Duration>() / n
+    }
+}
+
+/// Per-rank data prepared before the SPMD section.
+struct RankData {
+    features: Matrix,
+    labels: Vec<usize>,
+    /// Local ids of *all* clones of training vertices in this
+    /// partition. Every clone contributes loss, weighted by
+    /// `1 / clone_count`, so a split training vertex receives gradient
+    /// signal through each of its partial neighbourhoods (as in the
+    /// paper, where features and labels travel with the clones). In
+    /// `cd-0` the clones' logits are identical, so the global loss
+    /// still equals the single-socket loss.
+    train_ids: Vec<usize>,
+    /// `1 / clone_count` per entry of `train_ids`.
+    train_weights: Vec<f32>,
+    /// Owned test vertices only (each global vertex counted once).
+    test_ids: Vec<usize>,
+}
+
+struct RankEpoch {
+    loss: f32,
+    lat: Duration,
+    rat: Duration,
+    backward_agg: Duration,
+    epoch_time: Duration,
+}
+
+struct RankResult {
+    epochs: Vec<RankEpoch>,
+    correct: f32,
+    total: f32,
+    params: Vec<f32>,
+}
+
+/// The distributed trainer.
+pub struct DistTrainer;
+
+impl DistTrainer {
+    /// Partitions `dataset`, spawns one rank per partition and trains
+    /// for `config.epochs` full-batch epochs.
+    pub fn run(dataset: &Dataset, config: &DistConfig) -> DistRunReport {
+        let edges = dataset.graph.to_edge_list();
+        let partitioning = libra_partition(&edges, config.num_parts);
+        let pg = PartitionedGraph::build(&edges, &partitioning, config.seed);
+        Self::run_on(dataset, &pg, config)
+    }
+
+    /// Runs on a pre-built partitioned graph (lets the harness reuse
+    /// one partitioning across modes).
+    pub fn run_on(dataset: &Dataset, pg: &PartitionedGraph, config: &DistConfig) -> DistRunReport {
+        let k = pg.num_parts();
+        assert_eq!(k, config.num_parts, "partition count mismatch");
+        let rank_data = prepare_rank_data(dataset, pg);
+        let global_train = dataset.train_mask.len().max(1) as f32;
+
+        let (results, comm) = Cluster::run_with_stats(k, |ctx| {
+            let me = ctx.rank();
+            let data = &rank_data[me];
+            let mut model = GraphSage::new(&config.model);
+            let mut adam = Adam::new(AdamConfig {
+                weight_decay: config.weight_decay,
+                ..AdamConfig::with_lr(config.lr)
+            });
+            let mut agg =
+                RankAggregator::new(ctx, pg, config.mode, config.kernel)
+                    .with_wire_precision(config.wire_precision);
+            let mut epochs = Vec::with_capacity(config.epochs);
+
+            for e in 0..config.epochs {
+                let t0 = Instant::now();
+                agg.set_epoch(e as u64);
+                agg.take_times();
+                let (logits, cache) = model.forward(&mut agg, &data.features);
+
+                // Clone-weighted loss over local train vertices.
+                let (loss_contrib, grad_logits) = weighted_cross_entropy(
+                    &logits,
+                    &data.labels,
+                    &data.train_ids,
+                    &data.train_weights,
+                    global_train,
+                );
+
+                let grads = model.backward(&mut agg, &cache, &grad_logits);
+                let mut flat = flatten_grads(&grads);
+                let mut loss_buf = [loss_contrib];
+                ctx.all_reduce_sum(&mut flat);
+                ctx.all_reduce_sum(&mut loss_buf);
+                apply_flat_grads(&mut model, &mut adam, &flat);
+
+                let (lat, rat, backward_agg) = agg.take_times();
+                epochs.push(RankEpoch {
+                    loss: loss_buf[0],
+                    lat,
+                    rat,
+                    backward_agg,
+                    epoch_time: t0.elapsed(),
+                });
+            }
+
+            // Evaluation over owned test vertices.
+            agg.set_epoch(config.epochs as u64);
+            let (logits, _) = model.forward(&mut agg, &data.features);
+            let correct = data
+                .test_ids
+                .iter()
+                .filter(|&&v| {
+                    reduce::row_argmax(&logits.gather_rows(&[v]))[0] == data.labels[v]
+                })
+                .count() as f32;
+            let mut acc_buf = [correct, data.test_ids.len() as f32];
+            ctx.all_reduce_sum(&mut acc_buf);
+
+            RankResult {
+                epochs,
+                correct: acc_buf[0],
+                total: acc_buf[1],
+                params: model.write_params(),
+            }
+        });
+
+        let epochs = (0..config.epochs)
+            .map(|e| DistEpochReport {
+                loss: results[0].epochs[e].loss,
+                lat: results.iter().map(|r| r.epochs[e].lat).max().unwrap(),
+                rat: results.iter().map(|r| r.epochs[e].rat).max().unwrap(),
+                backward_agg: results.iter().map(|r| r.epochs[e].backward_agg).max().unwrap(),
+                epoch_time: results.iter().map(|r| r.epochs[e].epoch_time).max().unwrap(),
+            })
+            .collect();
+        let test_accuracy = if results[0].total > 0.0 {
+            results[0].correct / results[0].total
+        } else {
+            0.0
+        };
+        DistRunReport {
+            epochs,
+            test_accuracy,
+            per_rank_comm: comm,
+            final_params: results.into_iter().map(|r| r.params).collect(),
+            partition_vertices: pg.parts.iter().map(|p| p.num_local_vertices()).collect(),
+            partition_edges: pg.parts.iter().map(|p| p.graph.num_edges()).collect(),
+        }
+    }
+}
+
+/// Softmax cross-entropy over `ids` with per-row weights, normalized by
+/// the *global* training-vertex count so that summing the per-rank
+/// losses/gradients over the cluster reproduces the single-socket
+/// quantities (each global vertex's clone weights sum to 1).
+fn weighted_cross_entropy(
+    logits: &Matrix,
+    labels: &[usize],
+    ids: &[usize],
+    weights: &[f32],
+    global_norm: f32,
+) -> (f32, Matrix) {
+    let probs = distgnn_tensor::softmax::softmax_rows(logits);
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0f32;
+    for (&v, &w) in ids.iter().zip(weights) {
+        let label = labels[v];
+        let p = probs.row(v);
+        loss -= p[label].max(1e-12).ln() * w;
+        let scale = w / global_norm;
+        let g_row = grad.row_mut(v);
+        for (j, (&pj, g)) in p.iter().zip(g_row.iter_mut()).enumerate() {
+            *g = (pj - f32::from(j == label)) * scale;
+        }
+    }
+    (loss / global_norm, grad)
+}
+
+fn prepare_rank_data(dataset: &Dataset, pg: &PartitionedGraph) -> Vec<RankData> {
+    let k = pg.num_parts();
+    let n = dataset.num_vertices();
+    // Owner of each global vertex: tree root if split, else its only
+    // partition (isolated vertices were attached in setup).
+    let mut owner = vec![u16::MAX; n];
+    let mut clone_counts = vec![0usize; n];
+    for (p, part) in pg.parts.iter().enumerate() {
+        for &g in &part.global_ids {
+            let root = pg.root_of[g as usize];
+            owner[g as usize] = if root == u16::MAX { p as u16 } else { root };
+            clone_counts[g as usize] += 1;
+        }
+    }
+    debug_assert!(owner.iter().all(|&o| o != u16::MAX));
+
+    let in_train: std::collections::HashSet<usize> = dataset.train_mask.iter().copied().collect();
+    let in_test: std::collections::HashSet<usize> = dataset.test_mask.iter().copied().collect();
+
+    (0..k)
+        .map(|p| {
+            let part = &pg.parts[p];
+            let idx: Vec<usize> = part.global_ids.iter().map(|&g| g as usize).collect();
+            let features = dataset.features.gather_rows(&idx);
+            let labels: Vec<usize> = idx.iter().map(|&g| dataset.labels[g]).collect();
+            let mut train_ids = Vec::new();
+            let mut train_weights = Vec::new();
+            let mut test_ids = Vec::new();
+            for (local, &g) in idx.iter().enumerate() {
+                if in_train.contains(&g) {
+                    train_ids.push(local);
+                    train_weights.push(1.0 / clone_counts[g] as f32);
+                } else if owner[g] as usize == p && in_test.contains(&g) {
+                    test_ids.push(local);
+                }
+            }
+            RankData { features, labels, train_ids, train_weights, test_ids }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::{Trainer, TrainerConfig};
+    use distgnn_graph::ScaledConfig;
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&ScaledConfig::am_s().scaled_by(0.25))
+    }
+
+    fn cfg(ds: &Dataset, mode: DistMode, k: usize, epochs: usize) -> DistConfig {
+        DistConfig::new(ds, mode, k, epochs)
+    }
+
+    #[test]
+    fn replicas_stay_identical_across_ranks_all_modes() {
+        let ds = tiny();
+        for mode in [DistMode::Oc, DistMode::Cd0, DistMode::CdR { delay: 2 }] {
+            let r = DistTrainer::run(&ds, &cfg(&ds, mode, 3, 4));
+            for p in 1..3 {
+                assert_eq!(
+                    r.final_params[0], r.final_params[p],
+                    "replica divergence in {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cd0_first_epoch_loss_matches_single_socket() {
+        // With complete forward neighbourhoods and identical init, the
+        // first forward pass (before any update) must produce the same
+        // global loss as the single-socket trainer.
+        let ds = tiny();
+        let dist = DistTrainer::run(&ds, &cfg(&ds, DistMode::Cd0, 4, 1));
+        let single_cfg = TrainerConfig {
+            model: cfg(&ds, DistMode::Cd0, 4, 1).model,
+            kernel: distgnn_kernels::AggregationConfig::baseline(),
+            lr: 0.01,
+            weight_decay: 5e-4,
+            epochs: 1,
+        };
+        let single = Trainer::run(&ds, &single_cfg);
+        assert!(
+            (dist.epochs[0].loss - single.epochs[0].loss).abs() < 1e-3,
+            "dist {} vs single {}",
+            dist.epochs[0].loss,
+            single.epochs[0].loss
+        );
+    }
+
+    #[test]
+    fn oc_avoids_all_clone_communication() {
+        let ds = tiny();
+        let r = DistTrainer::run(&ds, &cfg(&ds, DistMode::Oc, 3, 2));
+        // Gradient AllReduce still communicates; clone sync must not.
+        // cd-0 on the same setup sends strictly more.
+        let r_cd0 = DistTrainer::run(&ds, &cfg(&ds, DistMode::Cd0, 3, 2));
+        let sent_oc: u64 = r.per_rank_comm.iter().map(|s| s.bytes_sent).sum();
+        let sent_cd0: u64 = r_cd0.per_rank_comm.iter().map(|s| s.bytes_sent).sum();
+        assert!(sent_cd0 > sent_oc, "cd-0 {sent_cd0} vs 0c {sent_oc}");
+    }
+
+    #[test]
+    fn cdr_zero_delay_equals_cd0() {
+        let ds = tiny();
+        let a = DistTrainer::run(&ds, &cfg(&ds, DistMode::CdR { delay: 0 }, 3, 3));
+        let b = DistTrainer::run(&ds, &cfg(&ds, DistMode::Cd0, 3, 3));
+        assert_eq!(a.final_params[0], b.final_params[0]);
+        for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+            assert!((ea.loss - eb.loss).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_modes_learn_the_planted_labels() {
+        let ds = tiny();
+        for mode in [DistMode::Oc, DistMode::Cd0, DistMode::CdR { delay: 2 }] {
+            let r = DistTrainer::run(&ds, &cfg(&ds, mode, 2, 50));
+            assert!(
+                r.test_accuracy > 0.75,
+                "{} accuracy {}",
+                mode.name(),
+                r.test_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn single_partition_distributed_equals_single_socket_exactly() {
+        let ds = tiny();
+        let dist = DistTrainer::run(&ds, &cfg(&ds, DistMode::Cd0, 1, 3));
+        let single_cfg = TrainerConfig {
+            model: cfg(&ds, DistMode::Cd0, 1, 3).model,
+            kernel: distgnn_kernels::AggregationConfig::optimized(1),
+            lr: 0.01,
+            weight_decay: 5e-4,
+            epochs: 3,
+        };
+        let single = Trainer::run(&ds, &single_cfg);
+        for (d, s) in dist.epochs.iter().zip(&single.epochs) {
+            assert!((d.loss - s.loss).abs() < 2e-3, "losses {} vs {}", d.loss, s.loss);
+        }
+    }
+
+    #[test]
+    fn bf16_wire_halves_clone_traffic_and_preserves_learning() {
+        let ds = tiny();
+        let mut cfg32 = cfg(&ds, DistMode::Cd0, 3, 20);
+        let mut cfg16 = cfg32.clone();
+        cfg32.wire_precision = WirePrecision::Fp32;
+        cfg16.wire_precision = WirePrecision::Bf16;
+        let r32 = DistTrainer::run(&ds, &cfg32);
+        let r16 = DistTrainer::run(&ds, &cfg16);
+        let sent32: u64 = r32.per_rank_comm.iter().map(|s| s.bytes_sent).sum();
+        let sent16: u64 = r16.per_rank_comm.iter().map(|s| s.bytes_sent).sum();
+        // Gradient AllReduce stays fp32, so total traffic shrinks but
+        // not fully by half; the clone-sync component halves.
+        assert!(sent16 < sent32, "bf16 {sent16} vs fp32 {sent32}");
+        assert!(
+            (r16.test_accuracy - r32.test_accuracy).abs() < 0.05,
+            "bf16 {} vs fp32 {}",
+            r16.test_accuracy,
+            r32.test_accuracy
+        );
+    }
+
+    #[test]
+    fn fp16_wire_trains_and_replicas_agree() {
+        let ds = tiny();
+        let mut c = cfg(&ds, DistMode::CdR { delay: 2 }, 3, 8);
+        c.wire_precision = WirePrecision::Fp16;
+        let r = DistTrainer::run(&ds, &c);
+        assert!(r.epochs.iter().all(|e| e.loss.is_finite()));
+        assert_eq!(r.final_params[0], r.final_params[1]);
+    }
+
+    #[test]
+    fn precision_names() {
+        assert_eq!(WirePrecision::Fp32.name(), "fp32");
+        assert_eq!(WirePrecision::Bf16.name(), "bf16");
+        assert_eq!(WirePrecision::Fp16.name(), "fp16");
+        assert_eq!(WirePrecision::default(), WirePrecision::Fp32);
+    }
+
+    #[test]
+    fn mode_names_match_paper() {
+        assert_eq!(DistMode::Oc.name(), "0c");
+        assert_eq!(DistMode::Cd0.name(), "cd-0");
+        assert_eq!(DistMode::CdR { delay: 5 }.name(), "cd-5");
+    }
+}

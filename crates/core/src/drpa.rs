@@ -1,0 +1,567 @@
+//! Delayed Remote Partial Aggregates (Alg. 4) — the `0c` / `cd-0` /
+//! `cd-r` family.
+//!
+//! Per layer, every partition first aggregates its *local* partial
+//! neighbourhoods (LAT in Fig. 6), then synchronizes split-vertex
+//! partial aggregates over the 1-level clone trees (RAT):
+//!
+//! - **`0c`** skips synchronization entirely — clones keep partial
+//!   aggregates (fastest; accuracy roofline is optimistic).
+//! - **`cd-0`** synchronizes every epoch with two blocking AlltoAllv
+//!   phases: leaves→root partial sums, root reduces, root→leaves final
+//!   aggregates. Every clone sees its complete neighbourhood, so the
+//!   forward pass equals the single-socket one (modulo fp reduction
+//!   order) — DESIGN.md invariant 2.
+//! - **`cd-r`** bins the split vertices into `r` groups; epoch `e`
+//!   *asynchronously* sends bin `e mod r` and consumes the messages
+//!   posted `r` epochs earlier (same bin). Received remote partials are
+//!   *cached* per layer, so every epoch applies the latest (stale, up
+//!   to `2r` epochs old) contribution of every bin — communication
+//!   overlaps computation at the price of freshness, à la Hogwild.
+//!
+//! The clone-sync operator is linear, and its adjoint has exactly the
+//! same tree shape: the gradient of a synchronized aggregate is the
+//! *sum of the clones' gradients, broadcast back to every clone*. The
+//! backward pass therefore reuses the same engine on the gradient
+//! matrices — synchronous under `cd-0`, delayed/cached under `cd-r`,
+//! absent under `0c` — which is what lets `cd-0` training match
+//! single-socket training closely (Table 5).
+
+use crate::dist::{DistMode, WirePrecision};
+use crate::model::Aggregator;
+use distgnn_comm::RankCtx;
+use distgnn_kernels::gcn::gcn_normalize;
+use distgnn_kernels::{AggregationConfig, BinaryOp, PreparedAggregation, ReduceOp};
+use distgnn_partition::setup::Route;
+use distgnn_partition::PartitionedGraph;
+use distgnn_tensor::Matrix;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Phase ids inside the tag space; forward and backward directions use
+/// disjoint pairs.
+const FWD_PHASES: (u64, u64) = (0, 1);
+const BWD_PHASES: (u64, u64) = (2, 3);
+
+/// Tag for a (phase, layer, epoch) triple. Layers are tiny (<64) and
+/// epochs fit comfortably in the remaining bits.
+fn tag(phase: u64, layer: usize, epoch: u64) -> u64 {
+    (epoch << 10) | ((layer as u64) << 2) | phase
+}
+
+/// Per-peer, per-bin route slices for `cd-r` binning, precomputed so
+/// each epoch touches only its bin's indices.
+#[derive(Clone, Debug, Default)]
+struct BinnedRoute {
+    /// `bins[b]` — indices into the route arrays whose global id falls
+    /// into bin `b`.
+    bins: Vec<Vec<u32>>,
+}
+
+fn bin_route(route: &Route, r: usize) -> BinnedRoute {
+    let mut bins = vec![Vec::new(); r];
+    for (i, &g) in route.globals.iter().enumerate() {
+        bins[(g as usize) % r].push(i as u32);
+    }
+    BinnedRoute { bins }
+}
+
+/// Cached remote rows for one route (one peer, one layer).
+#[derive(Clone, Debug)]
+struct RouteCache {
+    data: Vec<f32>,
+    valid: Vec<bool>,
+}
+
+impl RouteCache {
+    fn new(rows: usize, d: usize) -> Self {
+        RouteCache { data: vec![0.0; rows * d], valid: vec![false; rows] }
+    }
+
+    /// Stores `payload` (bin-ordered rows) at route indices `idx`.
+    fn store_rows(&mut self, idx: &[u32], payload: &[f32], d: usize) {
+        assert_eq!(payload.len(), idx.len() * d, "cache payload size mismatch");
+        for (j, &i) in idx.iter().enumerate() {
+            let i = i as usize;
+            self.data[i * d..(i + 1) * d].copy_from_slice(&payload[j * d..(j + 1) * d]);
+            self.valid[i] = true;
+        }
+    }
+
+    /// Calls `f(route_index, row)` for every row received so far.
+    fn for_each_valid(&self, d: usize, mut f: impl FnMut(usize, &[f32])) {
+        for (i, &ok) in self.valid.iter().enumerate() {
+            if ok {
+                f(i, &self.data[i * d..(i + 1) * d]);
+            }
+        }
+    }
+}
+
+/// Per-direction delayed-sync state (one per forward/backward).
+#[derive(Clone, Debug, Default)]
+struct CdrState {
+    /// `[layer][peer]` cached leaf partials held at roots.
+    root: Vec<Vec<RouteCache>>,
+    /// `[layer][peer]` cached final values held at leaves.
+    leaf: Vec<Vec<RouteCache>>,
+}
+
+/// Immutable routing context shared by both sync directions.
+struct SyncTopo<'t> {
+    routes_out: &'t [Route],
+    routes_in: &'t [Route],
+    binned_out: &'t [BinnedRoute],
+    binned_in: &'t [BinnedRoute],
+}
+
+/// The per-rank distributed aggregator.
+pub struct RankAggregator<'a, 'b> {
+    ctx: &'a RankCtx<'b>,
+    mode: DistMode,
+    prep: PreparedAggregation,
+    prep_t: PreparedAggregation,
+    local_deg: Vec<f32>,
+    global_deg: Vec<f32>,
+    /// `routes_out[p]` — my leaves whose root is on rank `p`.
+    routes_out: Vec<Route>,
+    /// `routes_in[q]` — roots on me whose leaves are on rank `q`.
+    routes_in: Vec<Route>,
+    binned_out: Vec<BinnedRoute>,
+    binned_in: Vec<BinnedRoute>,
+    fwd_state: CdrState,
+    precision: WirePrecision,
+    epoch: u64,
+    lat: Duration,
+    rat: Duration,
+    backward_time: Duration,
+}
+
+impl<'a, 'b> RankAggregator<'a, 'b> {
+    /// Builds the aggregator for `ctx.rank()` from the shared setup.
+    pub fn new(
+        ctx: &'a RankCtx<'b>,
+        pg: &PartitionedGraph,
+        mode: DistMode,
+        kernel: AggregationConfig,
+    ) -> Self {
+        let me = ctx.rank();
+        assert_eq!(pg.num_parts(), ctx.size(), "partition/rank count mismatch");
+        let part = &pg.parts[me];
+        let routes_out: Vec<Route> = pg.routes[me].clone();
+        let routes_in: Vec<Route> =
+            (0..pg.num_parts()).map(|q| pg.routes[q][me].clone()).collect();
+        let (binned_out, binned_in) = match mode {
+            DistMode::CdR { delay } if delay > 0 => (
+                routes_out.iter().map(|r| bin_route(r, delay)).collect(),
+                routes_in.iter().map(|r| bin_route(r, delay)).collect(),
+            ),
+            _ => (Vec::new(), Vec::new()),
+        };
+        RankAggregator {
+            ctx,
+            mode,
+            prep: PreparedAggregation::new(&part.graph, kernel),
+            prep_t: PreparedAggregation::new(&part.graph.transpose(), kernel),
+            local_deg: part.local_degrees(),
+            global_deg: part.global_degrees.clone(),
+            routes_out,
+            routes_in,
+            binned_out,
+            binned_in,
+            fwd_state: CdrState::default(),
+            precision: WirePrecision::Fp32,
+            epoch: 0,
+            lat: Duration::ZERO,
+            rat: Duration::ZERO,
+            backward_time: Duration::ZERO,
+        }
+    }
+
+    /// Selects the wire format for clone-sync payloads (the paper's
+    /// BF16/FP16 future-work extension).
+    pub fn with_wire_precision(mut self, precision: WirePrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the current epoch; `cd-r` tags its messages with it.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Normalization degrees for the current mode.
+    fn degrees(&self) -> &[f32] {
+        match self.mode {
+            DistMode::Oc => &self.local_deg,
+            _ => &self.global_deg,
+        }
+    }
+
+    /// Local + remote aggregation time accumulated in forward passes
+    /// since the last take; (LAT, RAT, backward-agg) of Fig. 6.
+    pub fn take_times(&mut self) -> (Duration, Duration, Duration) {
+        (
+            std::mem::take(&mut self.lat),
+            std::mem::take(&mut self.rat),
+            std::mem::take(&mut self.backward_time),
+        )
+    }
+
+    fn topo(&self) -> SyncTopo<'_> {
+        SyncTopo {
+            routes_out: &self.routes_out,
+            routes_in: &self.routes_in,
+            binned_out: &self.binned_out,
+            binned_in: &self.binned_in,
+        }
+    }
+
+    /// Mode dispatch for one sync of `m` (aggregates or gradients).
+    ///
+    /// Gradients (`BWD_PHASES`) are only synchronized under `cd-0`:
+    /// Alg. 4 communicates feature aggregates, and gradients are far
+    /// too high-variance to tolerate `r`-epoch staleness — delayed
+    /// gradient sync measurably *hurts* convergence, so `cd-r` keeps
+    /// its backward pass clone-local like `0c`.
+    fn sync(&mut self, m: &mut Matrix, layer: usize, phases: (u64, u64)) {
+        let backward = phases == BWD_PHASES;
+        match self.mode {
+            DistMode::Oc => {}
+            DistMode::Cd0 => sync_blocking(self.ctx, &self.topo(), m, self.precision),
+            DistMode::CdR { delay } => {
+                if delay == 0 {
+                    sync_blocking(self.ctx, &self.topo(), m, self.precision);
+                } else if !backward {
+                    let topo = SyncTopo {
+                        routes_out: &self.routes_out,
+                        routes_in: &self.routes_in,
+                        binned_out: &self.binned_out,
+                        binned_in: &self.binned_in,
+                    };
+                    let state = &mut self.fwd_state;
+                    sync_delayed(
+                        self.ctx,
+                        &topo,
+                        state,
+                        m,
+                        layer,
+                        self.epoch,
+                        delay,
+                        phases,
+                        self.precision,
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Aggregator for RankAggregator<'_, '_> {
+    fn num_vertices(&self) -> usize {
+        self.prep.num_vertices()
+    }
+
+    fn forward(&mut self, layer: usize, h: &Matrix) -> Matrix {
+        // Local aggregation (LAT).
+        let t0 = Instant::now();
+        let mut agg = self.prep.aggregate(h, None, BinaryOp::CopyLhs, ReduceOp::Sum);
+        self.lat += t0.elapsed();
+
+        // Remote aggregation incl. pre/post-processing (RAT).
+        let t1 = Instant::now();
+        self.sync(&mut agg, layer, FWD_PHASES);
+        self.rat += t1.elapsed();
+
+        // Epilogue counts as local work.
+        let t2 = Instant::now();
+        gcn_normalize(&mut agg, h, self.degrees());
+        self.lat += t2.elapsed();
+        agg
+    }
+
+    fn backward(&mut self, layer: usize, grad_out: &Matrix) -> Matrix {
+        let t0 = Instant::now();
+        // out = (a_sync + h) / (D + 1): scale incoming gradient once.
+        let mut scaled = grad_out.clone();
+        let d = scaled.cols();
+        let degrees = self.degrees().to_vec();
+        scaled
+            .as_mut_slice()
+            .par_chunks_mut(d)
+            .zip(degrees.par_iter())
+            .for_each(|(row, &deg)| {
+                let inv = 1.0 / (deg + 1.0);
+                row.iter_mut().for_each(|x| *x *= inv);
+            });
+        // Adjoint of the clone sync: sum gradients across clones and
+        // broadcast the total back (same tree, same delay policy).
+        let mut synced = scaled.clone();
+        self.sync(&mut synced, layer, BWD_PHASES);
+        // Local A^T term on the synchronized gradient, plus the
+        // (clone-local) self term.
+        let mut grad_in = self.prep_t.aggregate(&synced, None, BinaryOp::CopyLhs, ReduceOp::Sum);
+        distgnn_tensor::ops::add_assign(&mut grad_in, &scaled);
+        self.backward_time += t0.elapsed();
+        grad_in
+    }
+}
+
+/// Synchronous reduce-broadcast over the clone trees (cd-0), for
+/// aggregates and gradients alike.
+fn sync_blocking(ctx: &RankCtx<'_>, topo: &SyncTopo<'_>, m: &mut Matrix, prec: WirePrecision) {
+    let k = ctx.size();
+    let d = m.cols();
+    // Phase 1: leaves -> roots.
+    let outgoing: Vec<Vec<f32>> = (0..k)
+        .map(|p| encode(prec, gather_rows(m, &topo.routes_out[p].leaf_locals, d)))
+        .collect();
+    let incoming = ctx.all_to_all_v(outgoing);
+    for (q, payload) in incoming.iter().enumerate() {
+        let len = topo.routes_in[q].root_locals.len() * d;
+        let payload = decode(prec, payload, len);
+        scatter_reduce(m, &topo.routes_in[q].root_locals, &payload, d);
+    }
+    // Phase 2: roots -> leaves (totals).
+    let outgoing: Vec<Vec<f32>> = (0..k)
+        .map(|q| encode(prec, gather_rows(m, &topo.routes_in[q].root_locals, d)))
+        .collect();
+    let incoming = ctx.all_to_all_v(outgoing);
+    for (p, payload) in incoming.iter().enumerate() {
+        let len = topo.routes_out[p].leaf_locals.len() * d;
+        let payload = decode(prec, payload, len);
+        scatter_overwrite(m, &topo.routes_out[p].leaf_locals, &payload, d);
+    }
+}
+
+/// Packs a payload into the configured wire format.
+fn encode(prec: WirePrecision, data: Vec<f32>) -> Vec<f32> {
+    use distgnn_tensor::half::{f32_to_bf16, f32_to_f16, pack_half};
+    match prec {
+        WirePrecision::Fp32 => data,
+        WirePrecision::Bf16 => pack_half(&data, f32_to_bf16),
+        WirePrecision::Fp16 => pack_half(&data, f32_to_f16),
+    }
+}
+
+/// Unpacks a payload; `len` is the pre-encoding element count.
+fn decode(prec: WirePrecision, data: &[f32], len: usize) -> Vec<f32> {
+    use distgnn_tensor::half::{bf16_to_f32, f16_to_f32, unpack_half};
+    match prec {
+        WirePrecision::Fp32 => data.to_vec(),
+        WirePrecision::Bf16 => unpack_half(data, len, bf16_to_f32),
+        WirePrecision::Fp16 => unpack_half(data, len, f16_to_f32),
+    }
+}
+
+/// Asynchronous, binned, delayed sync (cd-r), Alg. 4 lines 9–21, with
+/// per-layer caches so every epoch applies all bins' latest (stale)
+/// remote contributions.
+#[allow(clippy::too_many_arguments)]
+fn sync_delayed(
+    ctx: &RankCtx<'_>,
+    topo: &SyncTopo<'_>,
+    state: &mut CdrState,
+    m: &mut Matrix,
+    layer: usize,
+    epoch: u64,
+    delay: usize,
+    phases: (u64, u64),
+    prec: WirePrecision,
+) {
+    let k = ctx.size();
+    let me = ctx.rank();
+    let d = m.cols();
+    let b = (epoch % delay as u64) as usize;
+    ensure_caches(state, topo, layer, d, k);
+
+    // Lines 10–11: gather + async-send this bin's leaf partials
+    // (local values, before any cache is applied).
+    for p in 0..k {
+        if p == me {
+            continue;
+        }
+        let idx = &topo.binned_out[p].bins[b];
+        if idx.is_empty() {
+            continue;
+        }
+        let locals = select(&topo.routes_out[p].leaf_locals, idx);
+        let payload = encode(prec, gather_rows(m, &locals, d));
+        ctx.send_tagged(p, tag(phases.0, layer, epoch), payload);
+    }
+
+    // Lines 12–14: roots pick up leaf partials from epoch e − r (same
+    // bin), refresh the cache, then reduce every bin's cached partials
+    // into the fresh local values.
+    if epoch >= delay as u64 {
+        let e_src = epoch - delay as u64;
+        for q in 0..k {
+            if q == me {
+                continue;
+            }
+            let idx = &topo.binned_in[q].bins[b];
+            if idx.is_empty() {
+                continue;
+            }
+            if let Some(payload) = ctx.try_recv_tagged(q, tag(phases.0, layer, e_src)) {
+                let payload = decode(prec, &payload, idx.len() * d);
+                state.root[layer][q].store_rows(idx, &payload, d);
+            }
+        }
+    }
+    for q in 0..k {
+        state.root[layer][q].for_each_valid(d, |i, row| {
+            let local = topo.routes_in[q].root_locals[i] as usize;
+            for (x, &p) in m.row_mut(local).iter_mut().zip(row) {
+                *x += p;
+            }
+        });
+    }
+
+    // Lines 15–16: roots send this bin's (now reduced) totals back.
+    if epoch >= delay as u64 {
+        for q in 0..k {
+            if q == me {
+                continue;
+            }
+            let idx = &topo.binned_in[q].bins[b];
+            if idx.is_empty() {
+                continue;
+            }
+            let locals = select(&topo.routes_in[q].root_locals, idx);
+            let back = encode(prec, gather_rows(m, &locals, d));
+            ctx.send_tagged(q, tag(phases.1, layer, epoch), back);
+        }
+    }
+
+    // Lines 18–21: leaves pick up totals from epoch e − r, refresh the
+    // cache, and overwrite with every bin's cached totals.
+    if epoch >= 2 * delay as u64 {
+        let e_src = epoch - delay as u64;
+        for p in 0..k {
+            if p == me {
+                continue;
+            }
+            let idx = &topo.binned_out[p].bins[b];
+            if idx.is_empty() {
+                continue;
+            }
+            if let Some(payload) = ctx.try_recv_tagged(p, tag(phases.1, layer, e_src)) {
+                let payload = decode(prec, &payload, idx.len() * d);
+                state.leaf[layer][p].store_rows(idx, &payload, d);
+            }
+        }
+    }
+    for p in 0..k {
+        state.leaf[layer][p].for_each_valid(d, |i, row| {
+            let local = topo.routes_out[p].leaf_locals[i] as usize;
+            m.row_mut(local).copy_from_slice(row);
+        });
+    }
+}
+
+fn ensure_caches(state: &mut CdrState, topo: &SyncTopo<'_>, layer: usize, d: usize, k: usize) {
+    while state.root.len() <= layer {
+        state.root.push(Vec::new());
+        state.leaf.push(Vec::new());
+    }
+    if state.root[layer].is_empty() {
+        state.root[layer] =
+            (0..k).map(|q| RouteCache::new(topo.routes_in[q].len(), d)).collect();
+        state.leaf[layer] =
+            (0..k).map(|p| RouteCache::new(topo.routes_out[p].len(), d)).collect();
+    }
+}
+
+fn select(locals: &[u32], idx: &[u32]) -> Vec<u32> {
+    idx.iter().map(|&i| locals[i as usize]).collect()
+}
+
+/// Gathers `rows` of `m` into a flat payload (Alg. 4 "gather").
+pub fn gather_rows(m: &Matrix, rows: &[u32], d: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(rows.len() * d);
+    for &r in rows {
+        out.extend_from_slice(m.row(r as usize));
+    }
+    out
+}
+
+/// Adds payload rows into `m` (Alg. 4 "scatter_reduce").
+pub fn scatter_reduce(m: &mut Matrix, rows: &[u32], payload: &[f32], d: usize) {
+    assert_eq!(payload.len(), rows.len() * d, "payload size mismatch");
+    for (i, &r) in rows.iter().enumerate() {
+        let dst = m.row_mut(r as usize);
+        for (x, &p) in dst.iter_mut().zip(&payload[i * d..(i + 1) * d]) {
+            *x += p;
+        }
+    }
+}
+
+/// Overwrites payload rows into `m` (Alg. 4 "scatter").
+pub fn scatter_overwrite(m: &mut Matrix, rows: &[u32], payload: &[f32], d: usize) {
+    assert_eq!(payload.len(), rows.len() * d, "payload size mismatch");
+    for (i, &r) in rows.iter().enumerate() {
+        m.row_mut(r as usize).copy_from_slice(&payload[i * d..(i + 1) * d]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique_per_triple_and_direction() {
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..10u64 {
+            for l in 0..4usize {
+                for ph in [FWD_PHASES.0, FWD_PHASES.1, BWD_PHASES.0, BWD_PHASES.1] {
+                    assert!(seen.insert(tag(ph, l, e)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let mut m = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let rows = [1u32, 3];
+        let payload = gather_rows(&m, &rows, 2);
+        assert_eq!(payload, vec![2.0, 3.0, 6.0, 7.0]);
+        scatter_reduce(&mut m, &rows, &payload, 2);
+        assert_eq!(m.row(1), &[4.0, 6.0]);
+        scatter_overwrite(&mut m, &rows, &payload, 2);
+        assert_eq!(m.row(1), &[2.0, 3.0]);
+        assert_eq!(m.row(3), &[6.0, 7.0]);
+        // Row 0 untouched throughout.
+        assert_eq!(m.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn bin_route_partitions_indices() {
+        let route = Route {
+            globals: vec![3, 5, 8, 10, 14],
+            leaf_locals: vec![0, 1, 2, 3, 4],
+            root_locals: vec![9, 9, 9, 9, 9],
+        };
+        let b = bin_route(&route, 5);
+        let total: usize = b.bins.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        assert_eq!(b.bins[3], vec![0, 2]); // globals 3 and 8
+        assert_eq!(b.bins[0], vec![1, 3]); // globals 5 and 10
+        assert_eq!(b.bins[4], vec![4]); // global 14
+    }
+
+    #[test]
+    fn route_cache_stores_and_replays() {
+        let mut c = RouteCache::new(3, 2);
+        c.store_rows(&[2, 0], &[1.0, 2.0, 3.0, 4.0], 2);
+        let mut seen = Vec::new();
+        c.for_each_valid(2, |i, row| seen.push((i, row.to_vec())));
+        assert_eq!(seen, vec![(0, vec![3.0, 4.0]), (2, vec![1.0, 2.0])]);
+        // Overwrite refreshes in place.
+        c.store_rows(&[0], &[9.0, 9.0], 2);
+        let mut seen = Vec::new();
+        c.for_each_valid(2, |i, row| seen.push((i, row.to_vec())));
+        assert_eq!(seen[0], (0, vec![9.0, 9.0]));
+    }
+}

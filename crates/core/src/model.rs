@@ -1,0 +1,306 @@
+//! The GraphSAGE model: a stack of (aggregate → linear → ReLU) blocks.
+//!
+//! §6.1: two graph-convolution layers with 16 hidden neurons for
+//! Reddit, three layers with 256 hidden neurons for the other datasets;
+//! the aggregation operator is GCN-style (sum, then add self features
+//! and normalize by in-degree).
+//!
+//! The aggregation step is abstracted behind [`Aggregator`] so the same
+//! model code trains single-socket (plain kernel calls) and distributed
+//! (local aggregation + DRPA clone synchronization).
+
+use distgnn_nn::linear::{Linear, LinearGrads};
+use distgnn_tensor::{init, ops, Matrix};
+
+/// Provides the GCN aggregate-and-normalize step and its gradient.
+///
+/// `layer` identifies which model layer is aggregating — the
+/// distributed implementation keeps per-layer communication state.
+pub trait Aggregator {
+    /// Number of vertices (rows) this aggregator operates over.
+    fn num_vertices(&self) -> usize;
+    /// `out[v] = (Σ_{u -> v} h[u] + h[v]) / (deg(v) + 1)`.
+    fn forward(&mut self, layer: usize, h: &Matrix) -> Matrix;
+    /// Gradient of [`Aggregator::forward`] with respect to `h`.
+    fn backward(&mut self, layer: usize, grad_out: &Matrix) -> Matrix;
+}
+
+/// Model shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SageConfig {
+    pub in_dim: usize,
+    /// Hidden widths; the number of layers is `hidden.len() + 1`.
+    pub hidden: Vec<usize>,
+    pub num_classes: usize,
+    pub seed: u64,
+}
+
+impl SageConfig {
+    /// Paper's Reddit model: 2 layers, 16 hidden neurons.
+    pub fn reddit_shape(in_dim: usize, num_classes: usize, seed: u64) -> Self {
+        SageConfig { in_dim, hidden: vec![16], num_classes, seed }
+    }
+
+    /// Paper's model for the other datasets: 3 layers, 256 hidden.
+    /// The scaled datasets shrink this to keep epochs fast.
+    pub fn standard_shape(in_dim: usize, num_classes: usize, hidden: usize, seed: u64) -> Self {
+        SageConfig { in_dim, hidden: vec![hidden, hidden], num_classes, seed }
+    }
+
+    /// Per-layer (in, out) dimensions.
+    pub fn layer_dims(&self) -> Vec<(usize, usize)> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 1);
+        let mut prev = self.in_dim;
+        for &h in &self.hidden {
+            dims.push((prev, h));
+            prev = h;
+        }
+        dims.push((prev, self.num_classes));
+        dims
+    }
+}
+
+/// Activations cached by the forward pass for backprop.
+#[derive(Clone, Debug)]
+pub struct SageCache {
+    /// Aggregation outputs (= linear inputs), one per layer.
+    pub agg_outputs: Vec<Matrix>,
+    /// Pre-activations `z`, one per layer.
+    pub pre_activations: Vec<Matrix>,
+}
+
+/// The GraphSAGE model: one [`Linear`] per layer.
+#[derive(Clone, Debug)]
+pub struct GraphSage {
+    pub layers: Vec<Linear>,
+}
+
+impl GraphSage {
+    /// Deterministically-initialized model; equal seeds give equal
+    /// replicas, which distributed training requires at startup.
+    pub fn new(config: &SageConfig) -> Self {
+        let mut rng = init::rng(config.seed);
+        let layers = config
+            .layer_dims()
+            .into_iter()
+            .map(|(i, o)| Linear::new(i, o, &mut rng))
+            .collect();
+        GraphSage { layers }
+    }
+
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Full forward pass; returns the logits and the cache the backward
+    /// pass needs.
+    pub fn forward(&self, agg: &mut dyn Aggregator, features: &Matrix) -> (Matrix, SageCache) {
+        assert_eq!(features.rows(), agg.num_vertices(), "feature row count");
+        let num_layers = self.layers.len();
+        let mut cache = SageCache {
+            agg_outputs: Vec::with_capacity(num_layers),
+            pre_activations: Vec::with_capacity(num_layers),
+        };
+        let mut h = features.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let a = agg.forward(l, &h);
+            let z = layer.forward(&a);
+            cache.agg_outputs.push(a);
+            h = if l + 1 == num_layers { z.clone() } else { ops::relu(&z) };
+            cache.pre_activations.push(z);
+        }
+        (h, cache)
+    }
+
+    /// Full backward pass; returns per-layer gradients (same order as
+    /// `self.layers`).
+    pub fn backward(
+        &self,
+        agg: &mut dyn Aggregator,
+        cache: &SageCache,
+        grad_logits: &Matrix,
+    ) -> Vec<LinearGrads> {
+        let num_layers = self.layers.len();
+        assert_eq!(cache.agg_outputs.len(), num_layers, "cache layer count");
+        let mut grads_rev = Vec::with_capacity(num_layers);
+        let mut grad_z = grad_logits.clone();
+        for l in (0..num_layers).rev() {
+            let lg = self.layers[l].backward(&cache.agg_outputs[l], &grad_z);
+            let grad_h = agg.backward(l, &lg.grad_input);
+            grads_rev.push(lg);
+            if l > 0 {
+                grad_z = ops::relu_backward(&grad_h, &cache.pre_activations[l - 1]);
+            }
+        }
+        grads_rev.reverse();
+        grads_rev
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// Serializes all parameters into one flat buffer.
+    pub fn write_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            l.write_params(&mut out);
+        }
+        out
+    }
+
+    /// Loads all parameters from a flat buffer.
+    pub fn read_params(&mut self, src: &[f32]) {
+        let mut off = 0;
+        for l in &mut self.layers {
+            off += l.read_params(&src[off..]);
+        }
+        assert_eq!(off, src.len(), "parameter buffer size mismatch");
+    }
+}
+
+/// Flattens per-layer gradients into one buffer (weights then bias per
+/// layer) — the AllReduce payload for gradient sync.
+pub fn flatten_grads(grads: &[LinearGrads]) -> Vec<f32> {
+    let mut out = Vec::new();
+    for g in grads {
+        out.extend_from_slice(g.grad_weight.as_slice());
+        out.extend_from_slice(&g.grad_bias);
+    }
+    out
+}
+
+/// Applies a flat gradient buffer with Adam, slot-per-tensor.
+pub fn apply_flat_grads(model: &mut GraphSage, adam: &mut distgnn_nn::Adam, flat: &[f32]) {
+    adam.begin_step();
+    let mut off = 0;
+    for (l, layer) in model.layers.iter_mut().enumerate() {
+        let nw = layer.weight.rows() * layer.weight.cols();
+        adam.step(2 * l, layer.weight.as_mut_slice(), &flat[off..off + nw]);
+        off += nw;
+        let nb = layer.bias.len();
+        adam.step(2 * l + 1, &mut layer.bias, &flat[off..off + nb]);
+        off += nb;
+    }
+    assert_eq!(off, flat.len(), "gradient buffer size mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::SingleSocketAggregator;
+    use distgnn_graph::generators::community_power_law;
+    use distgnn_graph::Csr;
+    use distgnn_kernels::AggregationConfig;
+    use distgnn_nn::gradcheck::finite_diff;
+    use distgnn_nn::masked_cross_entropy;
+    use distgnn_tensor::init::random_features;
+
+    fn small_setup() -> (Csr, Matrix, Vec<usize>, SageConfig) {
+        let edges = community_power_law(24, 120, 3, 0.8, 0.7, 1).symmetrize();
+        let g = Csr::from_edges(&edges);
+        let f = random_features(24, 5, 2);
+        let labels: Vec<usize> = (0..24).map(|v| v % 3).collect();
+        let cfg = SageConfig { in_dim: 5, hidden: vec![6], num_classes: 3, seed: 3 };
+        (g, f, labels, cfg)
+    }
+
+    #[test]
+    fn layer_dims_chain_correctly() {
+        let cfg = SageConfig::standard_shape(100, 47, 256, 0);
+        assert_eq!(cfg.layer_dims(), vec![(100, 256), (256, 256), (256, 47)]);
+        let cfg = SageConfig::reddit_shape(602, 41, 0);
+        assert_eq!(cfg.layer_dims(), vec![(602, 16), (16, 41)]);
+    }
+
+    #[test]
+    fn forward_shapes_are_consistent() {
+        let (g, f, _, cfg) = small_setup();
+        let model = GraphSage::new(&cfg);
+        let mut agg = SingleSocketAggregator::new(&g, AggregationConfig::baseline());
+        let (logits, cache) = model.forward(&mut agg, &f);
+        assert_eq!(logits.shape(), (24, 3));
+        assert_eq!(cache.agg_outputs.len(), 2);
+        assert_eq!(cache.agg_outputs[0].shape(), (24, 5));
+        assert_eq!(cache.pre_activations[1].shape(), (24, 3));
+    }
+
+    #[test]
+    fn same_seed_gives_identical_replicas() {
+        let cfg = SageConfig::standard_shape(8, 4, 6, 42);
+        let a = GraphSage::new(&cfg);
+        let b = GraphSage::new(&cfg);
+        assert_eq!(a.write_params(), b.write_params());
+        let c = GraphSage::new(&SageConfig { seed: 43, ..cfg });
+        assert_ne!(a.write_params(), c.write_params());
+    }
+
+    #[test]
+    fn params_round_trip_through_flat_buffer() {
+        let cfg = SageConfig::standard_shape(8, 4, 6, 7);
+        let a = GraphSage::new(&cfg);
+        let mut b = GraphSage::new(&SageConfig { seed: 9, ..cfg });
+        b.read_params(&a.write_params());
+        assert_eq!(a.write_params(), b.write_params());
+    }
+
+    #[test]
+    fn end_to_end_gradient_matches_finite_difference() {
+        let (g, f, labels, cfg) = small_setup();
+        let model = GraphSage::new(&cfg);
+        let mask: Vec<usize> = (0..24).collect();
+        let loss_of = |m: &GraphSage, feats: &Matrix| {
+            let mut agg = SingleSocketAggregator::new(&g, AggregationConfig::baseline());
+            let (logits, _) = m.forward(&mut agg, feats);
+            masked_cross_entropy(&logits, &labels, &mask).loss
+        };
+        // Analytic gradients.
+        let mut agg = SingleSocketAggregator::new(&g, AggregationConfig::baseline());
+        let (logits, cache) = model.forward(&mut agg, &f);
+        let ce = masked_cross_entropy(&logits, &labels, &mask);
+        let grads = model.backward(&mut agg, &cache, &ce.grad_logits);
+
+        // Check layer-0 weight gradient against finite differences.
+        let fd_w0 = finite_diff(&model.layers[0].weight, 5e-2, |w| {
+            let mut m2 = model.clone();
+            m2.layers[0].weight = w.clone();
+            loss_of(&m2, &f)
+        });
+        assert!(
+            grads[0].grad_weight.approx_eq(&fd_w0, 5e-2),
+            "layer-0 weight grads disagree"
+        );
+        // And the last layer's bias gradient.
+        let l_last = model.layers.len() - 1;
+        let fd_b: Vec<f32> = (0..model.layers[l_last].bias.len())
+            .map(|i| {
+                let eps = 5e-2;
+                let mut mp = model.clone();
+                mp.layers[l_last].bias[i] += eps;
+                let mut mm = model.clone();
+                mm.layers[l_last].bias[i] -= eps;
+                (loss_of(&mp, &f) - loss_of(&mm, &f)) / (2.0 * eps)
+            })
+            .collect();
+        for (a, b) in grads[l_last].grad_bias.iter().zip(&fd_b) {
+            assert!((a - b).abs() < 5e-2, "bias grad {a} vs fd {b}");
+        }
+    }
+
+    #[test]
+    fn flatten_and_apply_round_trip_sizes() {
+        let (g, f, labels, cfg) = small_setup();
+        let mut model = GraphSage::new(&cfg);
+        let mut agg = SingleSocketAggregator::new(&g, AggregationConfig::baseline());
+        let (logits, cache) = model.forward(&mut agg, &f);
+        let ce = masked_cross_entropy(&logits, &labels, &[]);
+        let grads = model.backward(&mut agg, &cache, &ce.grad_logits);
+        let flat = flatten_grads(&grads);
+        assert_eq!(flat.len(), model.num_params());
+        let before = model.write_params();
+        let mut adam = distgnn_nn::Adam::new(distgnn_nn::AdamConfig::with_lr(0.01));
+        apply_flat_grads(&mut model, &mut adam, &flat);
+        assert_ne!(before, model.write_params());
+    }
+}

@@ -1,0 +1,619 @@
+//! Aggregator variants beyond the paper's GCN-sum — the "extend
+//! DistGNN to different GNN models" direction of §7.
+//!
+//! - [`MaxPoolAggregator`]: GraphSAGE's pooling flavour,
+//!   `out[v] = max(h[v], max_{u->v} h[u])` element-wise, with an exact
+//!   backward pass through cached arg-max winners.
+//! - [`SymNormAggregator`]: symmetric GCN normalization
+//!   `out[v] = Σ_u h[u]/√((deg_u+1)(deg_v+1)) + h[v]/(deg_v+1)`,
+//!   implemented with *edge features as weights* — it exercises the
+//!   aggregation primitive's binary `Mul x Sum` path end-to-end, the
+//!   same code real edge-weighted GNNs use.
+//!
+//! Both implement [`Aggregator`], so `GraphSage::forward/backward`
+//! work unchanged. They are shared-memory variants; the distributed
+//! algorithms keep the paper's GCN-sum operator.
+
+use crate::model::Aggregator;
+use distgnn_graph::{Csr, VertexId};
+use distgnn_kernels::{AggregationConfig, BinaryOp, PreparedAggregation, ReduceOp};
+use distgnn_tensor::Matrix;
+
+/// GraphSAGE max-pooling aggregation with exact backward.
+pub struct MaxPoolAggregator {
+    graph: Csr,
+    /// Per layer: the arg-max winner (global vertex id) per output cell.
+    winners: Vec<Vec<VertexId>>,
+}
+
+impl MaxPoolAggregator {
+    pub fn new(graph: &Csr) -> Self {
+        MaxPoolAggregator { graph: graph.clone(), winners: Vec::new() }
+    }
+}
+
+impl Aggregator for MaxPoolAggregator {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn forward(&mut self, layer: usize, h: &Matrix) -> Matrix {
+        let n = self.graph.num_vertices();
+        let d = h.cols();
+        let mut out = Matrix::zeros(n, d);
+        let mut winners = vec![0 as VertexId; n * d];
+        for v in 0..n {
+            // Start from self (the winner defaults to v).
+            let self_row = h.row(v).to_vec();
+            for (j, &x) in self_row.iter().enumerate() {
+                out[(v, j)] = x;
+                winners[v * d + j] = v as VertexId;
+            }
+            for &u in self.graph.neighbors(v as VertexId) {
+                for j in 0..d {
+                    let x = h[(u as usize, j)];
+                    if x > out[(v, j)] {
+                        out[(v, j)] = x;
+                        winners[v * d + j] = u;
+                    }
+                }
+            }
+        }
+        while self.winners.len() <= layer {
+            self.winners.push(Vec::new());
+        }
+        self.winners[layer] = winners;
+        out
+    }
+
+    fn backward(&mut self, layer: usize, grad_out: &Matrix) -> Matrix {
+        let d = grad_out.cols();
+        let winners = &self.winners[layer];
+        assert_eq!(winners.len(), grad_out.rows() * d, "forward must run before backward");
+        let mut grad_h = Matrix::zeros(grad_out.rows(), d);
+        for v in 0..grad_out.rows() {
+            for j in 0..d {
+                let w = winners[v * d + j] as usize;
+                grad_h[(w, j)] += grad_out[(v, j)];
+            }
+        }
+        grad_h
+    }
+}
+
+/// Symmetric-normalized GCN via edge weights (`Mul` ⊗, `Sum` ⊕).
+pub struct SymNormAggregator {
+    prep: PreparedAggregation,
+    prep_t: PreparedAggregation,
+    /// `|E| x 1`-style weights broadcast to the feature width lazily;
+    /// stored per width because the AP takes matching dims.
+    edge_weights: Vec<f32>,
+    self_scale: Vec<f32>,
+    weight_mats: std::collections::HashMap<usize, Matrix>,
+}
+
+impl SymNormAggregator {
+    pub fn new(graph: &Csr, kernel: AggregationConfig) -> Self {
+        let deg_in = graph.degrees_f32();
+        let graph_t = graph.transpose();
+        let deg_out = graph_t.degrees_f32();
+        // w_uv = 1 / sqrt((deg_out(u)+1)(deg_in(v)+1)), indexed by edge id.
+        let mut edge_weights = vec![0.0f32; graph.num_edges()];
+        for v in 0..graph.num_vertices() {
+            let nbrs = graph.neighbors(v as VertexId);
+            let eids = graph.edge_ids(v as VertexId);
+            for (&u, &e) in nbrs.iter().zip(eids) {
+                edge_weights[e as usize] =
+                    1.0 / ((deg_out[u as usize] + 1.0) * (deg_in[v] + 1.0)).sqrt();
+            }
+        }
+        let self_scale = deg_in.iter().map(|&dv| 1.0 / (dv + 1.0)).collect();
+        SymNormAggregator {
+            prep: PreparedAggregation::new(graph, kernel),
+            prep_t: PreparedAggregation::new(&graph_t, kernel),
+            edge_weights,
+            self_scale,
+            weight_mats: std::collections::HashMap::new(),
+        }
+    }
+
+    fn weight_matrix(&mut self, d: usize) -> &Matrix {
+        let weights = &self.edge_weights;
+        self.weight_mats.entry(d).or_insert_with(|| {
+            let mut m = Matrix::zeros(weights.len(), d);
+            for (e, &w) in weights.iter().enumerate() {
+                m.row_mut(e).iter_mut().for_each(|x| *x = w);
+            }
+            m
+        })
+    }
+}
+
+impl Aggregator for SymNormAggregator {
+    fn num_vertices(&self) -> usize {
+        self.prep.num_vertices()
+    }
+
+    fn forward(&mut self, _layer: usize, h: &Matrix) -> Matrix {
+        let d = h.cols();
+        let fe = self.weight_matrix(d).clone();
+        let mut out = self.prep.aggregate(h, Some(&fe), BinaryOp::Mul, ReduceOp::Sum);
+        // Self loop scaled by 1/(deg_in + 1).
+        for v in 0..out.rows() {
+            let s = self.self_scale[v];
+            let (out_row, h_row) = (out.row_mut(v), h.row(v));
+            for (o, &x) in out_row.iter_mut().zip(h_row) {
+                *o += s * x;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, _layer: usize, grad_out: &Matrix) -> Matrix {
+        // The weighted adjacency W has w_uv attached to edge id e; the
+        // transpose preserves edge ids, so the same weight matrix
+        // drives the backward aggregation.
+        let d = grad_out.cols();
+        let fe = self.weight_matrix(d).clone();
+        let mut grad_h = self.prep_t.aggregate(grad_out, Some(&fe), BinaryOp::Mul, ReduceOp::Sum);
+        for v in 0..grad_h.rows() {
+            let s = self.self_scale[v];
+            let (g_row, go_row) = (grad_h.row_mut(v), grad_out.row(v));
+            for (g, &x) in g_row.iter_mut().zip(go_row) {
+                *g += s * x;
+            }
+        }
+        grad_h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GraphSage, SageConfig};
+    use distgnn_graph::generators::community_power_law;
+    use distgnn_graph::{Dataset, EdgeList, ScaledConfig};
+    use distgnn_nn::masked_cross_entropy;
+    use distgnn_tensor::init::random_features;
+    use distgnn_tensor::reduce;
+
+    fn small_graph() -> Csr {
+        Csr::from_edges(&community_power_law(20, 80, 2, 0.8, 0.5, 3).symmetrize().dedup_simple())
+    }
+
+    #[test]
+    fn maxpool_forward_matches_hand_computation() {
+        let g = Csr::from_edges(&EdgeList::from_pairs(3, &[(0, 2), (1, 2)]));
+        let h = Matrix::from_vec(3, 2, vec![5.0, -1.0, 2.0, 7.0, 0.0, 0.0]);
+        let mut agg = MaxPoolAggregator::new(&g);
+        let out = agg.forward(0, &h);
+        assert_eq!(out.row(0), &[5.0, -1.0]); // self only
+        assert_eq!(out.row(2), &[5.0, 7.0]); // max over {0, 1, self}
+    }
+
+    #[test]
+    fn maxpool_backward_matches_finite_difference() {
+        let g = small_graph();
+        let h = random_features(20, 3, 4);
+        let mut agg = MaxPoolAggregator::new(&g);
+        let _ = agg.forward(0, &h);
+        let grad = agg.backward(0, &Matrix::full(20, 3, 1.0));
+        let eps = 1e-3f32;
+        for probe in [(0usize, 0usize), (7, 1), (19, 2)] {
+            let loss = |hh: &Matrix| -> f32 {
+                let mut a = MaxPoolAggregator::new(&g);
+                a.forward(0, hh).as_slice().iter().sum()
+            };
+            let mut hp = h.clone();
+            hp[probe] += eps;
+            let mut hm = h.clone();
+            hm[probe] -= eps;
+            let fd = (loss(&hp) - loss(&hm)) / (2.0 * eps);
+            assert!((grad[probe] - fd).abs() < 1e-2, "{probe:?}: {} vs {fd}", grad[probe]);
+        }
+    }
+
+    #[test]
+    fn symnorm_forward_matches_hand_computation() {
+        // 0 -> 1 only: deg_in(1)=1, deg_out(0)=1.
+        let g = Csr::from_edges(&EdgeList::from_pairs(2, &[(0, 1)]));
+        let h = Matrix::from_vec(2, 1, vec![4.0, 10.0]);
+        let mut agg = SymNormAggregator::new(&g, AggregationConfig::baseline());
+        let out = agg.forward(0, &h);
+        // v1: 4 / sqrt(2 * 2) + 10 / 2 = 2 + 5 = 7; v0: 4 / 1 = 4.
+        assert!((out[(1, 0)] - 7.0).abs() < 1e-5);
+        assert!((out[(0, 0)] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn symnorm_backward_matches_finite_difference() {
+        let g = small_graph();
+        let h = random_features(20, 4, 5);
+        let mut agg = SymNormAggregator::new(&g, AggregationConfig::baseline());
+        let _ = agg.forward(0, &h);
+        let grad = agg.backward(0, &Matrix::full(20, 4, 1.0));
+        let eps = 1e-2f32;
+        for probe in [(0usize, 0usize), (9, 2), (19, 3)] {
+            let loss = |hh: &Matrix| -> f32 {
+                let mut a = SymNormAggregator::new(&g, AggregationConfig::baseline());
+                a.forward(0, hh).as_slice().iter().sum()
+            };
+            let mut hp = h.clone();
+            hp[probe] += eps;
+            let mut hm = h.clone();
+            hm[probe] -= eps;
+            let fd = (loss(&hp) - loss(&hm)) / (2.0 * eps);
+            assert!((grad[probe] - fd).abs() < 1e-2, "{probe:?}: {} vs {fd}", grad[probe]);
+        }
+    }
+
+    #[test]
+    fn both_variants_train_graphsage_end_to_end() {
+        let ds = Dataset::generate(&ScaledConfig::am_s().scaled_by(0.25));
+        let cfg = SageConfig {
+            in_dim: ds.feat_dim(),
+            hidden: vec![8],
+            num_classes: ds.num_classes,
+            seed: 6,
+        };
+        let run = |agg: &mut dyn Aggregator| -> f32 {
+            let mut model = GraphSage::new(&cfg);
+            let mut adam = distgnn_nn::Adam::new(distgnn_nn::AdamConfig::with_lr(0.02));
+            let mut last = f32::MAX;
+            for _ in 0..40 {
+                let (logits, cache) = model.forward(agg, &ds.features);
+                let ce = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
+                let grads = model.backward(agg, &cache, &ce.grad_logits);
+                let flat = crate::model::flatten_grads(&grads);
+                crate::model::apply_flat_grads(&mut model, &mut adam, &flat);
+                last = ce.loss;
+            }
+            let (logits, _) = model.forward(agg, &ds.features);
+            let acc = reduce::masked_accuracy(&logits, &ds.labels, &ds.test_mask);
+            assert!(last.is_finite());
+            acc
+        };
+        let mut mp = MaxPoolAggregator::new(&ds.graph);
+        let mut sn = SymNormAggregator::new(&ds.graph, AggregationConfig::optimized(2));
+        let acc_mp = run(&mut mp);
+        let acc_sn = run(&mut sn);
+        assert!(acc_mp > 0.6, "max-pool accuracy {acc_mp}");
+        assert!(acc_sn > 0.6, "sym-norm accuracy {acc_sn}");
+    }
+}
+
+/// Single-head dot-product attention aggregation with an exact
+/// backward pass — the GAT-shaped "different GNN model" of §7.
+///
+/// Per destination `v` (with a virtual self-loop):
+/// `z_e = <h_u, h_v>`, `α = softmax_z over {edges into v} ∪ {self}`,
+/// `out[v] = α_self·h_v + Σ α_e·h_u`.
+///
+/// Backward differentiates all three paths (value, attention weight,
+/// logit), verified against finite differences in the tests.
+pub struct DotAttentionAggregator {
+    graph: Csr,
+    /// Per layer: cached input and attention coefficients.
+    cache: Vec<Option<AttnCache>>,
+}
+
+struct AttnCache {
+    h: Matrix,
+    /// Per destination: attention over its in-edges (graph row order).
+    edge_att: Vec<Vec<f32>>,
+    /// Per destination: the self-loop attention weight.
+    self_att: Vec<f32>,
+}
+
+impl DotAttentionAggregator {
+    pub fn new(graph: &Csr) -> Self {
+        DotAttentionAggregator { graph: graph.clone(), cache: Vec::new() }
+    }
+
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+impl Aggregator for DotAttentionAggregator {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn forward(&mut self, layer: usize, h: &Matrix) -> Matrix {
+        let n = self.graph.num_vertices();
+        let d = h.cols();
+        let mut out = Matrix::zeros(n, d);
+        let mut edge_att = Vec::with_capacity(n);
+        let mut self_att = Vec::with_capacity(n);
+        for v in 0..n {
+            let h_v = h.row(v).to_vec();
+            let nbrs = self.graph.neighbors(v as VertexId);
+            // Logits with a stable softmax (self-loop included).
+            let mut z: Vec<f32> = nbrs
+                .iter()
+                .map(|&u| Self::dot(h.row(u as usize), &h_v))
+                .collect();
+            let z_self = Self::dot(&h_v, &h_v);
+            let m = z.iter().copied().fold(z_self, f32::max);
+            let mut denom = (z_self - m).exp();
+            for zi in z.iter_mut() {
+                *zi = (*zi - m).exp();
+                denom += *zi;
+            }
+            let a_self = (z_self - m).exp() / denom;
+            let a: Vec<f32> = z.iter().map(|e| e / denom).collect();
+            // Weighted combination.
+            let out_row = out.row_mut(v);
+            for (o, &x) in out_row.iter_mut().zip(&h_v) {
+                *o = a_self * x;
+            }
+            for (&u, &ai) in nbrs.iter().zip(&a) {
+                for (o, &x) in out_row.iter_mut().zip(h.row(u as usize)) {
+                    *o += ai * x;
+                }
+            }
+            edge_att.push(a);
+            self_att.push(a_self);
+        }
+        while self.cache.len() <= layer {
+            self.cache.push(None);
+        }
+        self.cache[layer] = Some(AttnCache { h: h.clone(), edge_att, self_att });
+        out
+    }
+
+    fn backward(&mut self, layer: usize, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache[layer].as_ref().expect("forward before backward");
+        let h = &cache.h;
+        let n = grad_out.rows();
+        let d = grad_out.cols();
+        let mut grad_h = Matrix::zeros(n, d);
+        for v in 0..n {
+            let g_v = grad_out.row(v).to_vec();
+            let h_v = h.row(v).to_vec();
+            let nbrs = self.graph.neighbors(v as VertexId);
+            let a = &cache.edge_att[v];
+            let a_self = cache.self_att[v];
+
+            // dL/dα for each participant, then softmax backward.
+            let da: Vec<f32> = nbrs
+                .iter()
+                .map(|&u| Self::dot(&g_v, h.row(u as usize)))
+                .collect();
+            let da_self = Self::dot(&g_v, &h_v);
+            let mean: f32 =
+                a.iter().zip(&da).map(|(ai, di)| ai * di).sum::<f32>() + a_self * da_self;
+            let dz: Vec<f32> = a.iter().zip(&da).map(|(ai, di)| ai * (di - mean)).collect();
+            let dz_self = a_self * (da_self - mean);
+
+            // Value path + logit path for neighbours
+            // (z_i = <h_u, h_v> so dz_i flows to h_u via h_v).
+            for ((&u, &ai), &dzi) in nbrs.iter().zip(a).zip(&dz) {
+                let gu = grad_h.row_mut(u as usize);
+                for j in 0..d {
+                    gu[j] += ai * g_v[j] + dzi * h_v[j];
+                }
+            }
+            // Self value path, self-logit path (z_self = <h_v, h_v>),
+            // and h_v's appearance in every neighbour logit.
+            let mut add_v = vec![0.0f32; d];
+            for j in 0..d {
+                add_v[j] += a_self * g_v[j] + 2.0 * dz_self * h_v[j];
+            }
+            for (&u, &dzi) in nbrs.iter().zip(&dz) {
+                let h_u = h.row(u as usize);
+                for j in 0..d {
+                    add_v[j] += dzi * h_u[j];
+                }
+            }
+            let gv = grad_h.row_mut(v);
+            for j in 0..d {
+                gv[j] += add_v[j];
+            }
+        }
+        grad_h
+    }
+}
+
+#[cfg(test)]
+mod attention_tests {
+    use super::*;
+    use crate::model::{GraphSage, SageConfig};
+    use distgnn_graph::generators::community_power_law;
+    use distgnn_graph::{Dataset, ScaledConfig};
+    use distgnn_nn::masked_cross_entropy;
+    use distgnn_tensor::init::random_features;
+    use distgnn_tensor::reduce;
+
+    fn small_graph() -> Csr {
+        Csr::from_edges(
+            &community_power_law(15, 60, 2, 0.8, 0.5, 7).symmetrize().dedup_simple(),
+        )
+    }
+
+    #[test]
+    fn attention_weights_form_distributions() {
+        let g = small_graph();
+        let h = random_features(15, 3, 8);
+        let mut agg = DotAttentionAggregator::new(&g);
+        let out = agg.forward(0, &h);
+        assert_eq!(out.shape(), (15, 3));
+        let cache = agg.cache[0].as_ref().unwrap();
+        for v in 0..15 {
+            let sum: f32 = cache.edge_att[v].iter().sum::<f32>() + cache.self_att[v];
+            assert!((sum - 1.0).abs() < 1e-5, "v={v} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_passes_through() {
+        let g = Csr::from_edges(&distgnn_graph::EdgeList::from_pairs(2, &[(0, 1)]));
+        let h = Matrix::from_vec(2, 2, vec![3.0, -1.0, 0.5, 0.5]);
+        let mut agg = DotAttentionAggregator::new(&g);
+        let out = agg.forward(0, &h);
+        // Vertex 0 has no in-edges: self attention is 1.
+        assert_eq!(out.row(0), &[3.0, -1.0]);
+    }
+
+    #[test]
+    fn attention_backward_matches_finite_difference() {
+        let g = small_graph();
+        let h = random_features(15, 3, 9);
+        let mut agg = DotAttentionAggregator::new(&g);
+        let _ = agg.forward(0, &h);
+        // Weighted loss to exercise off-diagonal gradient paths.
+        let gw = Matrix::from_fn(15, 3, |r, c| ((r + 2 * c) % 3) as f32 - 1.0);
+        let grad = agg.backward(0, &gw);
+        let loss = |hh: &Matrix| -> f32 {
+            let mut a = DotAttentionAggregator::new(&g);
+            let out = a.forward(0, hh);
+            out.as_slice().iter().zip(gw.as_slice()).map(|(o, w)| o * w).sum()
+        };
+        let eps = 1e-2f32;
+        for probe in [(0usize, 0usize), (3, 1), (7, 2), (14, 0)] {
+            let mut hp = h.clone();
+            hp[probe] += eps;
+            let mut hm = h.clone();
+            hm[probe] -= eps;
+            let fd = (loss(&hp) - loss(&hm)) / (2.0 * eps);
+            assert!(
+                (grad[probe] - fd).abs() < 2e-2,
+                "{probe:?}: analytic {} vs fd {fd}",
+                grad[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn graphsage_trains_with_attention_aggregation() {
+        let ds = Dataset::generate(&ScaledConfig::am_s().scaled_by(0.2));
+        let cfg = SageConfig {
+            in_dim: ds.feat_dim(),
+            hidden: vec![8],
+            num_classes: ds.num_classes,
+            seed: 10,
+        };
+        let mut model = GraphSage::new(&cfg);
+        let mut agg = DotAttentionAggregator::new(&ds.graph);
+        let mut adam = distgnn_nn::Adam::new(distgnn_nn::AdamConfig::with_lr(0.02));
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..50 {
+            let (logits, cache) = model.forward(&mut agg, &ds.features);
+            let ce = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
+            let grads = model.backward(&mut agg, &cache, &ce.grad_logits);
+            let flat = crate::model::flatten_grads(&grads);
+            crate::model::apply_flat_grads(&mut model, &mut adam, &flat);
+            first.get_or_insert(ce.loss);
+            last = ce.loss;
+        }
+        assert!(last < first.unwrap() * 0.6, "loss {} -> {last}", first.unwrap());
+        let (logits, _) = model.forward(&mut agg, &ds.features);
+        let acc = reduce::masked_accuracy(&logits, &ds.labels, &ds.test_mask);
+        assert!(acc > 0.5, "attention accuracy {acc}");
+    }
+}
+
+/// GIN-style sum aggregation: `out[v] = (1 + ε)·h[v] + Σ_{u->v} h[u]`
+/// (Xu et al.'s injective aggregator; the paper's §7 "beyond
+/// GraphSAGE" direction). Linear in `h`, so the backward pass is the
+/// transposed aggregation plus the scaled self term.
+pub struct GinAggregator {
+    prep: PreparedAggregation,
+    prep_t: PreparedAggregation,
+    /// The ε of GIN; 0 recovers plain sum-with-self.
+    pub epsilon: f32,
+}
+
+impl GinAggregator {
+    pub fn new(graph: &Csr, kernel: AggregationConfig, epsilon: f32) -> Self {
+        GinAggregator {
+            prep: PreparedAggregation::new(graph, kernel),
+            prep_t: PreparedAggregation::new(&graph.transpose(), kernel),
+            epsilon,
+        }
+    }
+}
+
+impl Aggregator for GinAggregator {
+    fn num_vertices(&self) -> usize {
+        self.prep.num_vertices()
+    }
+
+    fn forward(&mut self, _layer: usize, h: &Matrix) -> Matrix {
+        let mut out = self.prep.aggregate(h, None, BinaryOp::CopyLhs, ReduceOp::Sum);
+        let scale = 1.0 + self.epsilon;
+        for v in 0..out.rows() {
+            let (o_row, h_row) = (out.row_mut(v), h.row(v));
+            for (o, &x) in o_row.iter_mut().zip(h_row) {
+                *o += scale * x;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, _layer: usize, grad_out: &Matrix) -> Matrix {
+        let mut g = self.prep_t.aggregate(grad_out, None, BinaryOp::CopyLhs, ReduceOp::Sum);
+        let scale = 1.0 + self.epsilon;
+        for v in 0..g.rows() {
+            let (g_row, go_row) = (g.row_mut(v), grad_out.row(v));
+            for (x, &go) in g_row.iter_mut().zip(go_row) {
+                *x += scale * go;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod gin_tests {
+    use super::*;
+    use distgnn_graph::generators::community_power_law;
+    use distgnn_graph::EdgeList;
+    use distgnn_tensor::init::random_features;
+
+    #[test]
+    fn gin_forward_matches_hand_computation() {
+        let g = Csr::from_edges(&EdgeList::from_pairs(3, &[(0, 2), (1, 2)]));
+        let h = Matrix::from_vec(3, 1, vec![1.0, 2.0, 10.0]);
+        let mut agg = GinAggregator::new(&g, AggregationConfig::baseline(), 0.5);
+        let out = agg.forward(0, &h);
+        // v2: 1 + 2 + 1.5 * 10 = 18; v0: 1.5 * 1.
+        assert!((out[(2, 0)] - 18.0).abs() < 1e-6);
+        assert!((out[(0, 0)] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gin_backward_matches_finite_difference() {
+        let g = Csr::from_edges(
+            &community_power_law(18, 70, 2, 0.8, 0.5, 4).symmetrize().dedup_simple(),
+        );
+        let h = random_features(18, 3, 5);
+        let mut agg = GinAggregator::new(&g, AggregationConfig::optimized(2), 0.3);
+        let _ = agg.forward(0, &h);
+        let grad = agg.backward(0, &Matrix::full(18, 3, 1.0));
+        let eps = 1e-2f32;
+        for probe in [(0usize, 0usize), (9, 1), (17, 2)] {
+            let loss = |hh: &Matrix| -> f32 {
+                let mut a = GinAggregator::new(&g, AggregationConfig::optimized(2), 0.3);
+                a.forward(0, hh).as_slice().iter().sum()
+            };
+            let mut hp = h.clone();
+            hp[probe] += eps;
+            let mut hm = h.clone();
+            hm[probe] -= eps;
+            let fd = (loss(&hp) - loss(&hm)) / (2.0 * eps);
+            assert!((grad[probe] - fd).abs() < 2e-2, "{probe:?}: {} vs {fd}", grad[probe]);
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_is_sum_with_self() {
+        let g = Csr::from_edges(&EdgeList::from_pairs(2, &[(0, 1)]));
+        let h = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
+        let mut agg = GinAggregator::new(&g, AggregationConfig::baseline(), 0.0);
+        let out = agg.forward(0, &h);
+        assert_eq!(out[(1, 0)], 7.0);
+    }
+}

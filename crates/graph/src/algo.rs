@@ -1,0 +1,270 @@
+//! Classic graph algorithms used for dataset analysis.
+//!
+//! These support the evaluation harness (connectivity sanity checks,
+//! cluster-structure measurements that explain Table 4's replication
+//! factors) and double as a user-facing utility layer.
+
+use crate::{Csr, VertexId};
+use std::collections::VecDeque;
+
+/// Weakly-connected components (edge direction ignored).
+/// Returns a component id per vertex; ids are dense, 0-based, assigned
+/// in order of first appearance.
+pub fn connected_components(graph: &Csr) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for v in 0..n as u32 {
+        for &u in graph.neighbors(v) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+    }
+    // Compress and densify ids.
+    let mut dense = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut out = vec![0u32; n];
+    for v in 0..n as u32 {
+        let root = find(&mut parent, v);
+        if dense[root as usize] == u32::MAX {
+            dense[root as usize] = next;
+            next += 1;
+        }
+        out[v as usize] = dense[root as usize];
+    }
+    out
+}
+
+/// Number of weakly-connected components.
+pub fn num_components(graph: &Csr) -> usize {
+    connected_components(graph)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1)
+}
+
+/// BFS distances from `source` following the stored adjacency
+/// *backwards* (row `v` lists in-neighbours, so expanding a vertex's
+/// row walks edges `u -> v` from `v` to `u`). For forward distances
+/// pass the transposed graph. Unreachable vertices get `u32::MAX`.
+pub fn bfs_in_distances(graph: &Csr, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in graph.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Sampled average local clustering coefficient over in-neighbourhoods:
+/// for each sampled vertex, the fraction of in-neighbour pairs `(u, w)`
+/// with an edge `u -> w`. Explains Table 4: high clustering ⇒ Libra
+/// keeps communities together ⇒ low replication factor.
+pub fn clustering_coefficient_sampled(graph: &Csr, sample: usize, seed: u64) -> f64 {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for _ in 0..sample.max(1) {
+        let v = (next() % n as u64) as u32;
+        let nbrs = graph.neighbors(v);
+        if nbrs.len() < 2 {
+            continue;
+        }
+        // Cap the per-vertex cost on hubs.
+        let take = nbrs.len().min(30);
+        let mut closed = 0usize;
+        let mut pairs = 0usize;
+        for i in 0..take {
+            for j in 0..take {
+                if i == j {
+                    continue;
+                }
+                pairs += 1;
+                // Edge nbrs[i] -> nbrs[j]? Rows are sorted by source.
+                if graph.neighbors(nbrs[j]).binary_search(&nbrs[i]).is_ok() {
+                    closed += 1;
+                }
+            }
+        }
+        if pairs > 0 {
+            total += closed as f64 / pairs as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeList, ScaledConfig};
+
+    #[test]
+    fn components_of_two_islands() {
+        let g = Csr::from_edges(&EdgeList::from_pairs(
+            6,
+            &[(0, 1), (1, 2), (3, 4)],
+        ));
+        let cc = connected_components(&g);
+        assert_eq!(cc[0], cc[1]);
+        assert_eq!(cc[1], cc[2]);
+        assert_eq!(cc[3], cc[4]);
+        assert_ne!(cc[0], cc[3]);
+        assert_ne!(cc[5], cc[0]);
+        assert_ne!(cc[5], cc[3]);
+        assert_eq!(num_components(&g), 3);
+    }
+
+    #[test]
+    fn single_vertex_graph_has_one_component() {
+        let g = Csr::from_edges(&EdgeList::new(1));
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        // 0 -> 1 -> 2 -> 3 stored destination-major; BFS from 3 over
+        // in-neighbours walks back to 0.
+        let g = Csr::from_edges(&EdgeList::from_pairs(4, &[(0, 1), (1, 2), (2, 3)]));
+        let d = bfs_in_distances(&g, 3);
+        assert_eq!(d, vec![3, 2, 1, 0]);
+        // From 0 nothing is reachable backwards.
+        let d0 = bfs_in_distances(&g, 0);
+        assert_eq!(d0[0], 0);
+        assert!(d0[1..].iter().all(|&x| x == u32::MAX));
+    }
+
+    #[test]
+    fn bfs_forward_via_transpose() {
+        let g = Csr::from_edges(&EdgeList::from_pairs(4, &[(0, 1), (1, 2), (2, 3)]));
+        let d = bfs_in_distances(&g.transpose(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = Csr::from_edges(
+            &EdgeList::from_pairs(3, &[(0, 1), (1, 2), (2, 0)]).symmetrize(),
+        );
+        let c = clustering_coefficient_sampled(&g, 50, 1);
+        assert!((c - 1.0).abs() < 1e-9, "c = {c}");
+    }
+
+    #[test]
+    fn clustered_dataset_clusters_more_than_random_one() {
+        let prot = crate::Dataset::generate(&ScaledConfig::proteins_s().scaled_by(0.1));
+        let prod = crate::Dataset::generate(&ScaledConfig::products_s().scaled_by(0.1));
+        let c_prot = clustering_coefficient_sampled(&prot.graph, 150, 2);
+        let c_prod = clustering_coefficient_sampled(&prod.graph, 150, 2);
+        assert!(
+            c_prot > c_prod,
+            "proteins {c_prot:.3} should exceed products {c_prod:.3}"
+        );
+    }
+
+    #[test]
+    fn symmetrized_graph_is_one_component() {
+        let ds = crate::Dataset::generate(&ScaledConfig::am_s().scaled_by(0.2));
+        // Community structure with 15% cross edges keeps it connected.
+        let cc = num_components(&ds.graph);
+        assert!(cc < ds.num_vertices() / 10, "suspiciously fragmented: {cc}");
+    }
+}
+
+/// PageRank via power iteration, expressed with the same pull-style
+/// in-neighbour traversal the aggregation primitive uses. Returns the
+/// score vector (sums to ~1). Dangling mass is redistributed uniformly.
+pub fn pagerank(graph: &Csr, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Out-degrees come from the transpose view of the stored CSR.
+    let t = graph.transpose();
+    let out_deg: Vec<usize> = (0..n).map(|v| t.degree(v as VertexId)).collect();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let dangling: f64 = (0..n).filter(|&v| out_deg[v] == 0).map(|v| rank[v]).sum();
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        for v in 0..n {
+            let mut acc = 0.0;
+            for &u in graph.neighbors(v as VertexId) {
+                acc += rank[u as usize] / out_deg[u as usize] as f64;
+            }
+            next[v] = base + damping * acc;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod pagerank_tests {
+    use super::*;
+    use crate::EdgeList;
+
+    #[test]
+    fn uniform_on_a_cycle() {
+        let g = Csr::from_edges(&EdgeList::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]));
+        let pr = pagerank(&g, 0.85, 50);
+        for &x in &pr {
+            assert!((x - 0.25).abs() < 1e-9, "{pr:?}");
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = Csr::from_edges(&crate::generators::rmat(50, 300, (0.5, 0.2, 0.2), 30));
+        let pr = pagerank(&g, 0.85, 40);
+        let s: f64 = pr.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6, "sum {s}");
+    }
+
+    #[test]
+    fn hub_outranks_leaves() {
+        // Star into 0: all mass flows to the hub.
+        let pairs: Vec<(u32, u32)> = (1..8u32).map(|v| (v, 0)).collect();
+        let g = Csr::from_edges(&EdgeList::from_pairs(8, &pairs));
+        let pr = pagerank(&g, 0.85, 60);
+        assert!(pr[0] > 3.0 * pr[1], "{pr:?}");
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Csr::from_edges(&EdgeList::new(0));
+        assert!(pagerank(&g, 0.85, 10).is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Scaled stand-ins for the paper's benchmark datasets (Table 2).
+//!
+//! Each preset keeps the *shape* that the corresponding experiment
+//! depends on — relative density, degree skew, clusterability — at a
+//! size that trains in seconds on one machine. Features are noisy
+//! one-hot encodings of a planted community label, so the accuracy
+//! experiments (Table 5) measure something learnable, mirroring how the
+//! paper randomizes features for Proteins and uses vertex ids for AM.
+
+use crate::generators::{community_of, community_power_law};
+use crate::{Csr, EdgeList};
+use distgnn_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Paper-scale facts about a benchmark dataset (Table 2), used by the
+/// analytic work/memory models and printed next to measured results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetSpec {
+    pub name: &'static str,
+    pub paper_vertices: u64,
+    pub paper_edges: u64,
+    pub paper_feat_dim: usize,
+    pub paper_classes: usize,
+}
+
+/// Table 2 of the paper.
+pub const AM: DatasetSpec = DatasetSpec {
+    name: "am",
+    paper_vertices: 881_680,
+    paper_edges: 5_668_682,
+    paper_feat_dim: 1,
+    paper_classes: 11,
+};
+pub const REDDIT: DatasetSpec = DatasetSpec {
+    name: "reddit",
+    paper_vertices: 232_965,
+    paper_edges: 114_615_892,
+    paper_feat_dim: 602,
+    paper_classes: 41,
+};
+pub const OGBN_PRODUCTS: DatasetSpec = DatasetSpec {
+    name: "ogbn-products",
+    paper_vertices: 2_449_029,
+    paper_edges: 123_718_280,
+    paper_feat_dim: 100,
+    paper_classes: 47,
+};
+pub const PROTEINS: DatasetSpec = DatasetSpec {
+    name: "proteins",
+    paper_vertices: 8_745_542,
+    paper_edges: 1_309_240_502,
+    paper_feat_dim: 128,
+    paper_classes: 256,
+};
+pub const OGBN_PAPERS: DatasetSpec = DatasetSpec {
+    name: "ogbn-papers",
+    paper_vertices: 111_059_956,
+    paper_edges: 1_615_685_872,
+    paper_feat_dim: 128,
+    paper_classes: 172,
+};
+
+/// All five paper datasets.
+pub const ALL_SPECS: [DatasetSpec; 5] = [AM, REDDIT, OGBN_PRODUCTS, PROTEINS, OGBN_PAPERS];
+
+/// Recipe for generating a scaled synthetic stand-in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaledConfig {
+    pub spec: DatasetSpec,
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    pub feat_dim: usize,
+    pub num_classes: usize,
+    /// Probability an edge stays inside its source's community.
+    pub p_in: f64,
+    /// Zipf exponent of the source-degree skew (0 = no skew).
+    pub alpha: f64,
+    pub seed: u64,
+}
+
+impl ScaledConfig {
+    /// Dense, highly-skewed stand-in for Reddit (avg in-degree ~100,
+    /// densest of the suite; 2-layer/16-hidden model in the paper).
+    pub fn reddit_s() -> Self {
+        ScaledConfig {
+            spec: REDDIT,
+            num_vertices: 4_000,
+            num_edges: 400_000,
+            feat_dim: 64,
+            num_classes: 41,
+            p_in: 0.70,
+            alpha: 0.8,
+            seed: 0x5EDD17,
+        }
+    }
+
+    /// Sparse power-law stand-in for OGBN-Products (avg degree ~12).
+    pub fn products_s() -> Self {
+        ScaledConfig {
+            spec: OGBN_PRODUCTS,
+            num_vertices: 10_000,
+            num_edges: 120_000,
+            feat_dim: 50,
+            num_classes: 47,
+            p_in: 0.80,
+            alpha: 0.9,
+            seed: 0x0DB,
+        }
+    }
+
+    /// Strongly-clustered stand-in for Proteins; the tight communities
+    /// ("protein families") give Libra its low replication factor.
+    pub fn proteins_s() -> Self {
+        ScaledConfig {
+            spec: PROTEINS,
+            num_vertices: 12_000,
+            num_edges: 360_000,
+            feat_dim: 32,
+            num_classes: 64,
+            p_in: 0.995,
+            alpha: 0.4,
+            seed: 0x9207,
+        }
+    }
+
+    /// Large sparse stand-in for OGBN-Papers (partitioning / scaling
+    /// experiments only).
+    pub fn papers_s() -> Self {
+        ScaledConfig {
+            spec: OGBN_PAPERS,
+            num_vertices: 50_000,
+            num_edges: 700_000,
+            feat_dim: 32,
+            num_classes: 32,
+            p_in: 0.75,
+            alpha: 0.9,
+            seed: 0xA9E5,
+        }
+    }
+
+    /// Tiny stand-in for the Amsterdam-Museum graph.
+    pub fn am_s() -> Self {
+        ScaledConfig {
+            spec: AM,
+            num_vertices: 2_000,
+            num_edges: 12_000,
+            feat_dim: 8,
+            num_classes: 11,
+            p_in: 0.85,
+            alpha: 0.6,
+            seed: 0xA3,
+        }
+    }
+
+    /// The four single-socket workloads of Fig. 2, in paper order.
+    pub fn fig2_suite() -> Vec<ScaledConfig> {
+        vec![Self::am_s(), Self::reddit_s(), Self::products_s(), Self::proteins_s()]
+    }
+
+    /// Uniformly scales vertex and edge counts by `factor` (≥ 0.01),
+    /// keeping density shape. Used by benches to sweep sizes.
+    pub fn scaled_by(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.01, "scale factor too small");
+        self.num_vertices = ((self.num_vertices as f64 * factor) as usize).max(16);
+        self.num_edges = ((self.num_edges as f64 * factor) as usize).max(32);
+        self
+    }
+}
+
+/// A generated dataset: graph + features + planted labels + splits.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub name: String,
+    /// Destination-major adjacency (row `v` = in-neighbours of `v`).
+    pub graph: Csr,
+    /// `|V| x d` vertex features.
+    pub features: Matrix,
+    pub labels: Vec<usize>,
+    pub num_classes: usize,
+    pub train_mask: Vec<usize>,
+    pub test_mask: Vec<usize>,
+}
+
+impl Dataset {
+    /// Generates the dataset described by `cfg`. Deterministic in
+    /// `cfg.seed`. Edges are symmetrized (each undirected edge becomes
+    /// two directed edges, as in Table 2) and deduplicated.
+    pub fn generate(cfg: &ScaledConfig) -> Dataset {
+        let half = cfg.num_edges / 2;
+        let raw: EdgeList = community_power_law(
+            cfg.num_vertices,
+            half.max(1),
+            cfg.num_classes,
+            cfg.p_in,
+            cfg.alpha,
+            cfg.seed,
+        );
+        let edges = raw.symmetrize().dedup_simple().sort_by_source();
+        let graph = Csr::from_edges(&edges);
+        let labels: Vec<usize> = (0..cfg.num_vertices)
+            .map(|v| community_of(v as u32, cfg.num_vertices, cfg.num_classes))
+            .collect();
+        let features = planted_features(&labels, cfg.num_classes, cfg.feat_dim, cfg.seed ^ 0xFEA7);
+        let (train_mask, test_mask) = split_masks(cfg.num_vertices, 0.6, cfg.seed ^ 0x5917);
+        Dataset {
+            name: format!("{}-s", cfg.spec.name),
+            graph,
+            features,
+            labels,
+            num_classes: cfg.num_classes,
+            train_mask,
+            test_mask,
+        }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    pub fn feat_dim(&self) -> usize {
+        self.features.cols()
+    }
+}
+
+/// Noisy one-hot features: the column `label % dim` carries a strong
+/// signal, everything else is uniform noise. A linear layer can decode
+/// the label, while the noise keeps the task non-trivial.
+pub fn planted_features(labels: &[usize], num_classes: usize, dim: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = init::uniform(labels.len(), dim, -0.5, 0.5, &mut rng);
+    let _ = num_classes;
+    for (v, &label) in labels.iter().enumerate() {
+        let col = label % dim;
+        m[(v, col)] += 1.5 + rng.gen_range(-0.25..0.25);
+    }
+    m
+}
+
+/// Shuffled train/test split: `train_frac` of vertices train, the rest
+/// test. Both masks are sorted for reproducible iteration.
+pub fn split_masks(num_vertices: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut ids: Vec<usize> = (0..num_vertices).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let cut = ((num_vertices as f64) * train_frac) as usize;
+    let (mut train, mut test) = (ids[..cut].to_vec(), ids[cut..].to_vec());
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = ScaledConfig::am_s();
+        let a = Dataset::generate(&cfg);
+        let b = Dataset::generate(&cfg);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn masks_partition_vertices() {
+        let cfg = ScaledConfig::am_s();
+        let d = Dataset::generate(&cfg);
+        let mut all: Vec<usize> = d.train_mask.iter().chain(&d.test_mask).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..d.num_vertices()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        let cfg = ScaledConfig::products_s();
+        let d = Dataset::generate(&cfg);
+        let distinct: std::collections::HashSet<_> = d.labels.iter().copied().collect();
+        assert_eq!(distinct.len(), cfg.num_classes);
+        assert!(d.labels.iter().all(|&l| l < cfg.num_classes));
+    }
+
+    #[test]
+    fn reddit_is_denser_than_products() {
+        let r = Dataset::generate(&ScaledConfig::reddit_s().scaled_by(0.25));
+        let p = Dataset::generate(&ScaledConfig::products_s().scaled_by(0.25));
+        let dr = crate::stats::graph_stats(&r.graph);
+        let dp = crate::stats::graph_stats(&p.graph);
+        assert!(dr.density > dp.density, "reddit {} vs products {}", dr.density, dp.density);
+        assert!(dr.avg_degree > dp.avg_degree);
+    }
+
+    #[test]
+    fn planted_feature_signal_is_decodable() {
+        let labels = vec![0usize, 1, 2, 0, 1, 2];
+        let f = planted_features(&labels, 3, 4, 9);
+        for (v, &l) in labels.iter().enumerate() {
+            let row = f.row(v);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(argmax, l % 4, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn scaled_by_shrinks_proportionally() {
+        let c = ScaledConfig::papers_s().scaled_by(0.1);
+        assert_eq!(c.num_vertices, 5_000);
+        assert_eq!(c.num_edges, 70_000);
+    }
+
+    #[test]
+    fn symmetrized_graph_has_both_directions() {
+        let d = Dataset::generate(&ScaledConfig::am_s());
+        let el = d.graph.to_edge_list();
+        let set: std::collections::HashSet<(u32, u32)> =
+            el.iter().map(|(_, u, v)| (u, v)).collect();
+        for &(u, v) in set.iter().take(200) {
+            assert!(set.contains(&(v, u)), "missing reverse of {u}->{v}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Graph substrate for the DistGNN reproduction.
+//!
+//! Provides the compressed-sparse-row graph representation that the
+//! aggregation primitive (DistGNN §2.1/§4) consumes, the source-block
+//! splitting used by the cache-blocked kernel (Alg. 2), synthetic graph
+//! generators that stand in for the paper's datasets, and scaled
+//! descriptors of the five benchmark graphs from Table 2.
+//!
+//! Orientation convention (matches DGL and the paper's Alg. 1): the CSR
+//! row for vertex `v` lists the *sources* `u` of edges `u -> v`, i.e.
+//! `A[v]` is the set of in-neighbours whose features are pulled and
+//! reduced into `f_O[v]`.
+
+pub mod algo;
+pub mod blocks;
+pub mod csr;
+pub mod datasets;
+pub mod edgelist;
+pub mod generators;
+pub mod stats;
+
+pub use csr::Csr;
+pub use datasets::{Dataset, DatasetSpec, ScaledConfig};
+pub use edgelist::EdgeList;
+
+/// Vertex identifier. 32 bits covers every graph this suite generates;
+/// paper-scale analytic models use `u64` arithmetic separately.
+pub type VertexId = u32;
+
+/// Edge identifier (index into the original edge list).
+pub type EdgeId = u32;

@@ -1,0 +1,101 @@
+//! Graph shape statistics used throughout the evaluation harness.
+
+use crate::{Csr, VertexId};
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    /// `|E| / |V|^2` — the "Density" column of Table 3.
+    pub density: f64,
+    /// Average in-degree — the paper's "ideal cache reuse" bound.
+    pub avg_degree: f64,
+    pub max_degree: usize,
+    pub min_degree: usize,
+    /// Number of vertices with no in-edges.
+    pub isolated: usize,
+}
+
+/// Computes [`GraphStats`] for `graph`.
+pub fn graph_stats(graph: &Csr) -> GraphStats {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let mut max_degree = 0usize;
+    let mut min_degree = usize::MAX;
+    let mut isolated = 0usize;
+    for v in 0..n {
+        let d = graph.degree(v as VertexId);
+        max_degree = max_degree.max(d);
+        min_degree = min_degree.min(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    if n == 0 {
+        min_degree = 0;
+    }
+    GraphStats {
+        num_vertices: n,
+        num_edges: m,
+        density: if n == 0 { 0.0 } else { m as f64 / (n as f64 * n as f64) },
+        avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        max_degree,
+        min_degree,
+        isolated,
+    }
+}
+
+/// In-degree histogram with logarithmic (powers-of-two) buckets:
+/// bucket `k` counts vertices with degree in `[2^k, 2^{k+1})`; bucket 0
+/// also includes degree-0 vertices.
+pub fn degree_histogram_log2(graph: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; 1];
+    for v in 0..graph.num_vertices() {
+        let d = graph.degree(v as VertexId);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let g = Csr::from_edges(&EdgeList::from_pairs(4, &[(0, 1), (2, 1), (3, 1)]));
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.isolated, 3);
+        assert!((s.avg_degree - 0.75).abs() < 1e-12);
+        assert!((s.density - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        // degrees: v1 = 3 edges (bucket 1), others 0 (bucket 0)
+        let g = Csr::from_edges(&EdgeList::from_pairs(4, &[(0, 1), (2, 1), (3, 1)]));
+        let h = degree_histogram_log2(&g);
+        assert_eq!(h[0], 3);
+        assert_eq!(h[1], 1);
+        assert_eq!(h.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zeroed() {
+        let g = Csr::from_edges(&EdgeList::new(0));
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.min_degree, 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the graph substrate.
+
+use distgnn_graph::blocks::SourceBlocks;
+use distgnn_graph::{Csr, EdgeList};
+use proptest::prelude::*;
+
+/// A random simple directed graph as (n, edge pairs).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no loops", |(u, v)| u != v);
+        proptest::collection::vec(edge, 0..200).prop_map(move |mut es| {
+            es.sort_unstable();
+            es.dedup();
+            (n, es)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_preserves_edge_multiset((n, es) in arb_graph()) {
+        let el = EdgeList::from_pairs(n, &es);
+        let g = Csr::from_edges(&el);
+        prop_assert_eq!(g.num_edges(), es.len());
+        let mut rebuilt: Vec<(u32, u32)> = g
+            .to_edge_list()
+            .iter()
+            .map(|(_, u, v)| (u, v))
+            .collect();
+        rebuilt.sort_unstable();
+        prop_assert_eq!(rebuilt, es);
+    }
+
+    #[test]
+    fn indptr_is_monotone_and_consistent((n, es) in arb_graph()) {
+        let g = Csr::from_edges(&EdgeList::from_pairs(n, &es));
+        let indptr = g.indptr();
+        prop_assert_eq!(indptr.len(), n + 1);
+        prop_assert!(indptr.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*indptr.last().unwrap(), es.len());
+        let degree_sum: usize = (0..n).map(|v| g.degree(v as u32)).sum();
+        prop_assert_eq!(degree_sum, es.len());
+    }
+
+    #[test]
+    fn transpose_is_involutive((n, es) in arb_graph()) {
+        let g = Csr::from_edges(&EdgeList::from_pairs(n, &es));
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn transpose_swaps_direction((n, es) in arb_graph()) {
+        let g = Csr::from_edges(&EdgeList::from_pairs(n, &es));
+        let t = g.transpose();
+        for &(u, v) in &es {
+            // u -> v: v appears in g.row(v)'s sources? u in g.neighbors(v)
+            prop_assert!(g.neighbors(v).contains(&u));
+            prop_assert!(t.neighbors(u).contains(&v));
+        }
+    }
+
+    #[test]
+    fn blocking_partitions_edges((n, es) in arb_graph(), n_b in 1usize..8) {
+        let g = Csr::from_edges(&EdgeList::from_pairs(n, &es));
+        let sb = SourceBlocks::split(&g, n_b);
+        prop_assert_eq!(sb.total_edges(), g.num_edges());
+        // Merged per-row neighbours equal the original rows.
+        for v in 0..n as u32 {
+            let mut merged: Vec<u32> = sb
+                .blocks
+                .iter()
+                .flat_map(|b| b.neighbors(v).to_vec())
+                .collect();
+            merged.sort_unstable();
+            prop_assert_eq!(merged.as_slice(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn symmetrize_then_dedup_is_symmetric((n, es) in arb_graph()) {
+        let el = EdgeList::from_pairs(n, &es).symmetrize().dedup_simple();
+        let set: std::collections::HashSet<(u32, u32)> =
+            el.iter().map(|(_, u, v)| (u, v)).collect();
+        for &(u, v) in &set {
+            prop_assert!(set.contains(&(v, u)));
+        }
+    }
+}

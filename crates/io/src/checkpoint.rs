@@ -1,0 +1,58 @@
+//! Model checkpoints: the flat parameter buffer with a shape guard.
+
+use crate::matrix::{load_matrix, save_matrix};
+use crate::IoError;
+use distgnn_core::GraphSage;
+use distgnn_tensor::Matrix;
+use std::path::Path;
+
+/// Saves `model`'s parameters (one row, `num_params` cols).
+pub fn save_params(path: &Path, model: &GraphSage) -> Result<(), IoError> {
+    let flat = model.write_params();
+    save_matrix(path, &Matrix::from_vec(1, flat.len(), flat))
+}
+
+/// Loads a checkpoint into `model`; the parameter count must match the
+/// model's architecture.
+pub fn load_params(path: &Path, model: &mut GraphSage) -> Result<(), IoError> {
+    let m = load_matrix(path)?;
+    if m.cols() != model.num_params() || m.rows() != 1 {
+        return Err(IoError::Format(format!(
+            "checkpoint has {} params, model needs {}",
+            m.rows() * m.cols(),
+            model.num_params()
+        )));
+    }
+    model.read_params(m.as_slice());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp_path;
+    use distgnn_core::SageConfig;
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let cfg = SageConfig::standard_shape(10, 4, 8, 3);
+        let a = GraphSage::new(&cfg);
+        let path = temp_path("ckpt");
+        save_params(&path, &a).unwrap();
+        let mut b = GraphSage::new(&SageConfig { seed: 99, ..cfg });
+        assert_ne!(a.write_params(), b.write_params());
+        load_params(&path, &mut b).unwrap();
+        assert_eq!(a.write_params(), b.write_params());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let a = GraphSage::new(&SageConfig::standard_shape(10, 4, 8, 3));
+        let path = temp_path("ckpt-mismatch");
+        save_params(&path, &a).unwrap();
+        let mut small = GraphSage::new(&SageConfig::standard_shape(6, 3, 4, 3));
+        assert!(matches!(load_params(&path, &mut small), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

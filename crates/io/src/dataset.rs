@@ -1,0 +1,154 @@
+//! Dataset directory format.
+//!
+//! ```text
+//! <dir>/meta.txt      name / num_classes
+//! <dir>/graph.el      edge list (edge ids preserved)
+//! <dir>/features.mat  |V| x d features
+//! <dir>/labels.txt    one label per line
+//! <dir>/train.txt     train vertex ids, one per line
+//! <dir>/test.txt      test vertex ids, one per line
+//! ```
+
+use crate::edgelist::{load_edge_list, save_edge_list};
+use crate::matrix::{load_matrix, save_matrix};
+use crate::{format_err, IoError};
+use distgnn_graph::{Csr, Dataset};
+use std::fs;
+use std::path::Path;
+
+/// Saves `dataset` into directory `dir` (created if absent).
+pub fn save_dataset(dir: &Path, dataset: &Dataset) -> Result<(), IoError> {
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join("meta.txt"),
+        format!("name {}\nnum_classes {}\n", dataset.name, dataset.num_classes),
+    )?;
+    save_edge_list(&dir.join("graph.el"), &dataset.graph.to_edge_list())?;
+    save_matrix(&dir.join("features.mat"), &dataset.features)?;
+    write_ids(&dir.join("labels.txt"), &dataset.labels)?;
+    write_ids(&dir.join("train.txt"), &dataset.train_mask)?;
+    write_ids(&dir.join("test.txt"), &dataset.test_mask)?;
+    Ok(())
+}
+
+/// Loads a dataset saved by [`save_dataset`], validating consistency.
+pub fn load_dataset(dir: &Path) -> Result<Dataset, IoError> {
+    let meta = fs::read_to_string(dir.join("meta.txt"))?;
+    let mut name = None;
+    let mut num_classes = None;
+    for line in meta.lines() {
+        match line.split_once(' ') {
+            Some(("name", v)) => name = Some(v.to_string()),
+            Some(("num_classes", v)) => {
+                num_classes = Some(
+                    v.parse()
+                        .map_err(|_| IoError::Format(format!("bad num_classes `{v}`")))?,
+                )
+            }
+            _ => {}
+        }
+    }
+    let (name, num_classes) = match (name, num_classes) {
+        (Some(n), Some(c)) => (n, c),
+        _ => return format_err("meta.txt must define name and num_classes"),
+    };
+    let edges = load_edge_list(&dir.join("graph.el"))?;
+    let graph = Csr::from_edges(&edges);
+    let features = load_matrix(&dir.join("features.mat"))?;
+    if features.rows() != graph.num_vertices() {
+        return format_err(format!(
+            "features have {} rows but graph has {} vertices",
+            features.rows(),
+            graph.num_vertices()
+        ));
+    }
+    let labels = read_ids(&dir.join("labels.txt"))?;
+    if labels.len() != graph.num_vertices() {
+        return format_err("label count does not match vertex count");
+    }
+    if labels.iter().any(|&l| l >= num_classes) {
+        return format_err("label out of class range");
+    }
+    let train_mask = read_ids(&dir.join("train.txt"))?;
+    let test_mask = read_ids(&dir.join("test.txt"))?;
+    let n = graph.num_vertices();
+    if train_mask.iter().chain(&test_mask).any(|&v| v >= n) {
+        return format_err("mask vertex id out of range");
+    }
+    Ok(Dataset { name, graph, features, labels, num_classes, train_mask, test_mask })
+}
+
+fn write_ids(path: &Path, ids: &[usize]) -> Result<(), IoError> {
+    let mut s = String::with_capacity(ids.len() * 7);
+    for &v in ids {
+        s.push_str(&v.to_string());
+        s.push('\n');
+    }
+    fs::write(path, s)?;
+    Ok(())
+}
+
+fn read_ids(path: &Path) -> Result<Vec<usize>, IoError> {
+    fs::read_to_string(path)?
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.trim()
+                .parse()
+                .map_err(|_| IoError::Format(format!("bad id line `{l}`")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp_path;
+    use distgnn_graph::ScaledConfig;
+
+    #[test]
+    fn dataset_round_trips_completely() {
+        let ds = Dataset::generate(&ScaledConfig::am_s().scaled_by(0.2));
+        let dir = temp_path("dataset");
+        save_dataset(&dir, &ds).unwrap();
+        let back = load_dataset(&dir).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.graph, ds.graph);
+        assert_eq!(back.features, ds.features);
+        assert_eq!(back.labels, ds.labels);
+        assert_eq!(back.num_classes, ds.num_classes);
+        assert_eq!(back.train_mask, ds.train_mask);
+        assert_eq!(back.test_mask, ds.test_mask);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loaded_dataset_trains_identically() {
+        use distgnn_core::single::{Trainer, TrainerConfig};
+        use distgnn_kernels::AggregationConfig;
+        let ds = Dataset::generate(&ScaledConfig::am_s().scaled_by(0.2));
+        let dir = temp_path("dataset-train");
+        save_dataset(&dir, &ds).unwrap();
+        let back = load_dataset(&dir).unwrap();
+        let cfg = TrainerConfig::for_dataset(&ds, AggregationConfig::baseline(), 3);
+        let a = Trainer::run(&ds, &cfg);
+        let b = Trainer::run(&back, &cfg);
+        for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(ea.loss, eb.loss, "loading must be lossless for training");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn detects_inconsistencies() {
+        let ds = Dataset::generate(&ScaledConfig::am_s().scaled_by(0.2));
+        let dir = temp_path("dataset-bad");
+        save_dataset(&dir, &ds).unwrap();
+        // Corrupt: drop a label line.
+        let labels = fs::read_to_string(dir.join("labels.txt")).unwrap();
+        let truncated: String = labels.lines().skip(1).collect::<Vec<_>>().join("\n");
+        fs::write(dir.join("labels.txt"), truncated).unwrap();
+        assert!(matches!(load_dataset(&dir), Err(IoError::Format(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Text edge-list format (`.el`).
+
+use crate::{format_err, IoError};
+use distgnn_graph::EdgeList;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes `edges` as `num_vertices num_edges\n` followed by one
+/// `src dst` pair per line.
+pub fn save_edge_list(path: &Path, edges: &EdgeList) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{} {}", edges.num_vertices(), edges.num_edges())?;
+    for (_, u, v) in edges.iter() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an edge list written by [`save_edge_list`]. Edge order (and
+/// therefore edge ids) is preserved.
+pub fn load_edge_list(path: &Path) -> Result<EdgeList, IoError> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| IoError::Format("empty edge-list file".into()))?;
+    let mut it = header.split_whitespace();
+    let (n, m): (usize, usize) = match (it.next(), it.next()) {
+        (Some(a), Some(b)) => (
+            a.parse().map_err(|_| IoError::Format(format!("bad vertex count `{a}`")))?,
+            b.parse().map_err(|_| IoError::Format(format!("bad edge count `{b}`")))?,
+        ),
+        _ => return format_err("header must be `num_vertices num_edges`"),
+    };
+    let mut edges = EdgeList::new(n);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (u, v): (u32, u32) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (
+                a.parse().map_err(|_| IoError::Format(format!("line {}: bad src", i + 2)))?,
+                b.parse().map_err(|_| IoError::Format(format!("line {}: bad dst", i + 2)))?,
+            ),
+            _ => return format_err(format!("line {}: need `src dst`", i + 2)),
+        };
+        if (u as usize) >= n || (v as usize) >= n {
+            return format_err(format!("line {}: endpoint out of range", i + 2));
+        }
+        edges.push(u, v);
+    }
+    if edges.num_edges() != m {
+        return format_err(format!(
+            "header promised {m} edges, file contains {}",
+            edges.num_edges()
+        ));
+    }
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp_path;
+
+    #[test]
+    fn round_trips_preserving_edge_order() {
+        let e = EdgeList::from_pairs(5, &[(3, 1), (0, 4), (1, 2), (0, 4)]);
+        let p = temp_path("el");
+        save_edge_list(&p, &e).unwrap();
+        let back = load_edge_list(&p).unwrap();
+        assert_eq!(back, e);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let e = EdgeList::new(3);
+        let p = temp_path("el-empty");
+        save_edge_list(&p, &e).unwrap();
+        assert_eq!(load_edge_list(&p).unwrap(), e);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        let p = temp_path("el-bad");
+        std::fs::write(&p, "2 1\n0 5\n").unwrap();
+        assert!(matches!(load_edge_list(&p), Err(IoError::Format(_))));
+        std::fs::write(&p, "2 3\n0 1\n").unwrap();
+        assert!(matches!(load_edge_list(&p), Err(IoError::Format(_))));
+        std::fs::write(&p, "nonsense\n").unwrap();
+        assert!(load_edge_list(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,78 @@
+//! On-disk formats for the DistGNN reproduction.
+//!
+//! Real deployments partition a billion-edge graph once and train many
+//! times; Dist-DGL ships explicit `partition`/`load_partition` steps
+//! and DistGNN's DGL code does the same with its Libra output. This
+//! crate provides the equivalent persistence layer:
+//!
+//! - **edge lists** — the interchange format (`.el`, text: header line
+//!   `num_vertices num_edges`, then one `src dst` pair per line, the
+//!   same shape as OGB's CSVs);
+//! - **matrices** — features and parameters (`.mat`, little-endian
+//!   binary with a dims header);
+//! - **datasets** — a directory bundling graph, features, labels and
+//!   splits;
+//! - **partitionings** — Libra's edge assignment, so a partition can be
+//!   computed once and reused across runs and modes;
+//! - **checkpoints** — flat model parameters for resuming training.
+//!
+//! All formats round-trip exactly (bit-exact for f32 payloads) and are
+//! validated on load with descriptive errors.
+
+pub mod checkpoint;
+pub mod dataset;
+pub mod edgelist;
+pub mod matrix;
+pub mod partition;
+
+pub use checkpoint::{load_params, save_params};
+pub use dataset::{load_dataset, save_dataset};
+pub use edgelist::{load_edge_list, save_edge_list};
+pub use matrix::{load_matrix, save_matrix};
+pub use partition::{load_partitioning, save_partitioning};
+
+use std::fmt;
+use std::io;
+
+/// Errors for every loader/saver in this crate.
+#[derive(Debug)]
+pub enum IoError {
+    Io(io::Error),
+    /// The file parsed but violated the format (message explains how).
+    Format(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+pub(crate) fn format_err<T>(msg: impl Into<String>) -> Result<T, IoError> {
+    Err(IoError::Format(msg.into()))
+}
+
+/// A fresh unique path under the system temp dir (test helper).
+#[doc(hidden)]
+pub fn temp_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "distgnn-io-{}-{}-{}",
+        std::process::id(),
+        tag,
+        n
+    ))
+}

@@ -1,0 +1,100 @@
+//! Binary matrix format (`.mat`): magic, dims, little-endian f32 data.
+
+use crate::{format_err, IoError};
+use distgnn_tensor::Matrix;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DGNNMAT1";
+
+/// Writes `m` as magic + u64 rows + u64 cols + row-major f32 LE.
+pub fn save_matrix(path: &Path, m: &Matrix) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    for &x in m.as_slice() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a matrix written by [`save_matrix`], bit-exactly.
+pub fn load_matrix(path: &Path) -> Result<Matrix, IoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return format_err("not a DGNNMAT1 file");
+    }
+    let mut dim = [0u8; 8];
+    r.read_exact(&mut dim)?;
+    let rows = u64::from_le_bytes(dim) as usize;
+    r.read_exact(&mut dim)?;
+    let cols = u64::from_le_bytes(dim) as usize;
+    let count = rows
+        .checked_mul(cols)
+        .ok_or_else(|| IoError::Format("dims overflow".into()))?;
+    let mut bytes = vec![0u8; count * 4];
+    r.read_exact(&mut bytes).map_err(|_| {
+        IoError::Format(format!("truncated payload: expected {count} f32s"))
+    })?;
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp_path;
+    use distgnn_tensor::init::random_features;
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let m = random_features(17, 9, 42);
+        let p = temp_path("mat");
+        save_matrix(&p, &m).unwrap();
+        assert_eq!(load_matrix(&p).unwrap(), m);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn preserves_special_values() {
+        let m = Matrix::from_vec(1, 4, vec![f32::INFINITY, f32::NEG_INFINITY, -0.0, 1e-38]);
+        let p = temp_path("mat-special");
+        save_matrix(&p, &m).unwrap();
+        let back = load_matrix(&p).unwrap();
+        assert_eq!(back.as_slice()[0], f32::INFINITY);
+        assert_eq!(back.as_slice()[1], f32::NEG_INFINITY);
+        assert_eq!(back.as_slice()[2].to_bits(), (-0.0f32).to_bits());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn zero_sized_matrices_round_trip() {
+        for m in [Matrix::zeros(0, 5), Matrix::zeros(5, 0)] {
+            let p = temp_path("mat-zero");
+            save_matrix(&p, &m).unwrap();
+            assert_eq!(load_matrix(&p).unwrap().shape(), m.shape());
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let p = temp_path("mat-bad");
+        std::fs::write(&p, b"NOTAMAT0").unwrap();
+        assert!(matches!(load_matrix(&p), Err(IoError::Format(_)) | Err(IoError::Io(_))));
+        let m = random_features(4, 4, 1);
+        save_matrix(&p, &m).unwrap();
+        let full = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &full[..full.len() - 8]).unwrap();
+        assert!(matches!(load_matrix(&p), Err(IoError::Format(_))));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,137 @@
+//! Partitioning persistence: compute Libra once, train many times.
+//!
+//! Format (text): `num_parts num_vertices num_edges` header, then one
+//! partition id per edge line (edge order = edge-list order). The
+//! vertex→partitions map is reconstructed from the edge list on load,
+//! which guarantees the invariants hold for whatever edge list the
+//! caller pairs it with.
+
+use crate::{format_err, IoError};
+use distgnn_graph::EdgeList;
+use distgnn_partition::{PartId, Partitioning};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes the edge assignment of `p`.
+pub fn save_partitioning(path: &Path, p: &Partitioning) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{} {} {}", p.num_parts, p.num_vertices, p.edge_assign.len())?;
+    for &a in &p.edge_assign {
+        writeln!(w, "{a}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads an edge assignment and rebuilds the full [`Partitioning`]
+/// against `edges` (which must be the edge list it was computed from).
+pub fn load_partitioning(path: &Path, edges: &EdgeList) -> Result<Partitioning, IoError> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| IoError::Format("empty partition file".into()))?;
+    let mut it = header.split_whitespace();
+    let parse = |s: Option<&str>, what: &str| -> Result<usize, IoError> {
+        s.and_then(|x| x.parse().ok())
+            .ok_or_else(|| IoError::Format(format!("bad header field `{what}`")))
+    };
+    let num_parts = parse(it.next(), "num_parts")?;
+    let num_vertices = parse(it.next(), "num_vertices")?;
+    let num_edges = parse(it.next(), "num_edges")?;
+    if num_vertices != edges.num_vertices() || num_edges != edges.num_edges() {
+        return format_err(format!(
+            "partition was computed for a {num_vertices}-vertex/{num_edges}-edge graph, \
+             got {}/{}",
+            edges.num_vertices(),
+            edges.num_edges()
+        ));
+    }
+    let mut edge_assign: Vec<PartId> = Vec::with_capacity(num_edges);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let a: PartId = line
+            .trim()
+            .parse()
+            .map_err(|_| IoError::Format(format!("bad partition id `{line}`")))?;
+        if (a as usize) >= num_parts {
+            return format_err(format!("partition id {a} out of range"));
+        }
+        edge_assign.push(a);
+    }
+    if edge_assign.len() != num_edges {
+        return format_err("edge assignment count mismatch");
+    }
+
+    // Rebuild derived structures.
+    let mut vertex_parts: Vec<Vec<PartId>> = vec![Vec::new(); num_vertices];
+    let mut edge_loads = vec![0usize; num_parts];
+    for (eid, u, v) in edges.iter() {
+        let p = edge_assign[eid];
+        edge_loads[p as usize] += 1;
+        for w in [u, v] {
+            let parts = &mut vertex_parts[w as usize];
+            if let Err(pos) = parts.binary_search(&p) {
+                parts.insert(pos, p);
+            }
+        }
+    }
+    Ok(Partitioning { num_parts, num_vertices, edge_assign, vertex_parts, edge_loads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp_path;
+    use distgnn_graph::generators::community_power_law;
+    use distgnn_partition::libra_partition;
+
+    fn sample() -> EdgeList {
+        community_power_law(60, 400, 4, 0.8, 0.7, 8).symmetrize()
+    }
+
+    #[test]
+    fn partitioning_round_trips_fully() {
+        let e = sample();
+        let p = libra_partition(&e, 4);
+        let path = temp_path("part");
+        save_partitioning(&path, &p).unwrap();
+        let back = load_partitioning(&path, &e).unwrap();
+        assert_eq!(back, p);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_mismatched_graph() {
+        let e = sample();
+        let p = libra_partition(&e, 4);
+        let path = temp_path("part-mismatch");
+        save_partitioning(&path, &p).unwrap();
+        let other = community_power_law(61, 400, 4, 0.8, 0.7, 9).symmetrize();
+        assert!(matches!(load_partitioning(&path, &other), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_partitioning_builds_the_same_setup() {
+        use distgnn_partition::PartitionedGraph;
+        let e = sample();
+        let p = libra_partition(&e, 3);
+        let path = temp_path("part-setup");
+        save_partitioning(&path, &p).unwrap();
+        let back = load_partitioning(&path, &e).unwrap();
+        let a = PartitionedGraph::build(&e, &p, 5);
+        let b = PartitionedGraph::build(&e, &back, 5);
+        assert_eq!(a.root_of, b.root_of);
+        assert_eq!(a.split_vertices, b.split_vertices);
+        for (pa, pb) in a.parts.iter().zip(&b.parts) {
+            assert_eq!(pa.graph, pb.graph);
+            assert_eq!(pa.global_ids, pb.global_ids);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

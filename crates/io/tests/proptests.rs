@@ -1,0 +1,60 @@
+//! Property tests: all on-disk formats round-trip for arbitrary
+//! well-formed inputs.
+
+use distgnn_graph::EdgeList;
+use distgnn_io::{
+    load_edge_list, load_matrix, load_partitioning, save_edge_list, save_matrix,
+    save_partitioning, temp_path,
+};
+use distgnn_partition::libra_partition;
+use distgnn_tensor::Matrix;
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..120)
+            .prop_map(move |es| (n, es))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn edge_lists_round_trip((n, es) in arb_edges()) {
+        let el = EdgeList::from_pairs(n, &es);
+        let p = temp_path("prop-el");
+        save_edge_list(&p, &el).unwrap();
+        prop_assert_eq!(load_edge_list(&p).unwrap(), el);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn matrices_round_trip_bit_exactly(
+        rows in 0usize..12,
+        cols in 0usize..12,
+        seed in 0u64..1000,
+    ) {
+        let m = Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 31 + c * 7 + seed as usize) as f32).sin() * 100.0
+        });
+        let p = temp_path("prop-mat");
+        save_matrix(&p, &m).unwrap();
+        let back = load_matrix(&p).unwrap();
+        prop_assert_eq!(back.shape(), m.shape());
+        for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn partitionings_round_trip((n, es) in arb_edges(), k in 1usize..6) {
+        let el = EdgeList::from_pairs(n, &es);
+        let part = libra_partition(&el, k);
+        let p = temp_path("prop-part");
+        save_partitioning(&p, &part).unwrap();
+        prop_assert_eq!(load_partitioning(&p, &el).unwrap(), part);
+        std::fs::remove_file(&p).ok();
+    }
+}

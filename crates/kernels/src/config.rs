@@ -1,0 +1,114 @@
+//! Kernel configuration knobs — the three optimization axes of §4.2.
+
+/// How destination vertices are distributed across threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous range per thread (OpenMP `schedule(static)`).
+    /// Suffers under power-law degree imbalance.
+    Static,
+    /// Fine-grained chunks stolen dynamically (OpenMP
+    /// `schedule(dynamic, chunk)`); the paper's choice.
+    Dynamic,
+}
+
+/// Loop nest shape of the inner kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopOrder {
+    /// Alg. 1/2 order: for each destination, for each neighbour, walk
+    /// the feature vector. `f_O[v]` is updated once per edge.
+    DestinationMajor,
+    /// Alg. 3 order: for each SIMD-width strip of the feature
+    /// dimension, accumulate over all neighbours in registers and write
+    /// `f_O[v]` once per strip per block (the LIBXSMM reordering).
+    FeatureStrips,
+}
+
+/// Full kernel configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggregationConfig {
+    /// Number of source blocks `n_B` (1 = unblocked).
+    pub n_blocks: usize,
+    pub schedule: Schedule,
+    pub loop_order: LoopOrder,
+    /// Destination rows per dynamic chunk.
+    pub chunk_size: usize,
+}
+
+impl AggregationConfig {
+    /// The un-optimized DGL baseline: no blocking, static schedule,
+    /// destination-major loops.
+    pub fn baseline() -> Self {
+        AggregationConfig {
+            n_blocks: 1,
+            schedule: Schedule::Static,
+            loop_order: LoopOrder::DestinationMajor,
+            chunk_size: 64,
+        }
+    }
+
+    /// The fully-optimized DistGNN kernel with `n_blocks` source blocks.
+    pub fn optimized(n_blocks: usize) -> Self {
+        AggregationConfig {
+            n_blocks,
+            schedule: Schedule::Dynamic,
+            loop_order: LoopOrder::FeatureStrips,
+            chunk_size: 64,
+        }
+    }
+
+    /// Picks `n_B` so one block of `f_V` roughly fits in a cache of
+    /// `cache_bytes` (§4.2: "B should be as large as possible while a
+    /// block of f_V fits in cache").
+    pub fn auto_blocks(num_vertices: usize, feat_dim: usize, cache_bytes: usize) -> usize {
+        let fv_bytes = num_vertices * feat_dim * std::mem::size_of::<f32>();
+        // Keep a block at ~half the cache to leave room for f_O traffic.
+        let budget = (cache_bytes / 2).max(1);
+        fv_bytes.div_ceil(budget).max(1)
+    }
+
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    pub fn with_blocks(mut self, n_blocks: usize) -> Self {
+        self.n_blocks = n_blocks;
+        self
+    }
+
+    pub fn with_loop_order(mut self, loop_order: LoopOrder) -> Self {
+        self.loop_order = loop_order;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_unoptimized() {
+        let c = AggregationConfig::baseline();
+        assert_eq!(c.n_blocks, 1);
+        assert_eq!(c.schedule, Schedule::Static);
+        assert_eq!(c.loop_order, LoopOrder::DestinationMajor);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = AggregationConfig::baseline()
+            .with_blocks(8)
+            .with_schedule(Schedule::Dynamic)
+            .with_loop_order(LoopOrder::FeatureStrips);
+        assert_eq!(c, AggregationConfig::optimized(8));
+    }
+
+    #[test]
+    fn auto_blocks_scales_with_working_set() {
+        // 1 MiB cache, f_V = 4 MiB -> 8 blocks (half-cache budget).
+        let nb = AggregationConfig::auto_blocks(16_384, 64, 1 << 20);
+        assert_eq!(nb, 8);
+        // Tiny matrix -> single block.
+        assert_eq!(AggregationConfig::auto_blocks(10, 4, 1 << 20), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! The `⊗` (binary/unary) and `⊕` (reduction) operators of Table 1.
+
+/// Element-wise combine operator `⊗` applied to `(f_V[u], f_E[e_uv])`.
+///
+/// `CopyLhs`/`CopyRhs` are the unary forms of Eq. 2 (one operand is
+/// NULL and the other is copied through).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Unary: pass the vertex features through.
+    CopyLhs,
+    /// Unary: pass the edge features through.
+    CopyRhs,
+}
+
+impl BinaryOp {
+    /// Applies the operator to one scalar pair.
+    #[inline(always)]
+    pub fn apply(self, lhs: f32, rhs: f32) -> f32 {
+        match self {
+            BinaryOp::Add => lhs + rhs,
+            BinaryOp::Sub => lhs - rhs,
+            BinaryOp::Mul => lhs * rhs,
+            BinaryOp::Div => lhs / rhs,
+            BinaryOp::CopyLhs => lhs,
+            BinaryOp::CopyRhs => rhs,
+        }
+    }
+
+    /// Whether the right-hand (edge-feature) operand is read at all.
+    pub fn uses_rhs(self) -> bool {
+        !matches!(self, BinaryOp::CopyLhs)
+    }
+
+    /// Whether the left-hand (vertex-feature) operand is read at all.
+    pub fn uses_lhs(self) -> bool {
+        !matches!(self, BinaryOp::CopyRhs)
+    }
+
+    /// All operators, for exhaustive tests.
+    pub const ALL: [BinaryOp; 6] = [
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::CopyLhs,
+        BinaryOp::CopyRhs,
+    ];
+}
+
+/// Element-wise reduction operator `⊕`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    /// Applies the reduction to an accumulator/value pair.
+    #[inline(always)]
+    pub fn apply(self, acc: f32, value: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => acc + value,
+            ReduceOp::Max => acc.max(value),
+            ReduceOp::Min => acc.min(value),
+        }
+    }
+
+    /// The reduction's identity element, used to initialize `f_O`.
+    ///
+    /// DGL initializes the sum output to zero and max/min outputs to the
+    /// appropriate infinities; vertices with no in-edges keep the
+    /// identity (callers typically post-process those).
+    #[inline(always)]
+    pub fn identity(self) -> f32 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f32::NEG_INFINITY,
+            ReduceOp::Min => f32::INFINITY,
+        }
+    }
+
+    /// All reductions, for exhaustive tests.
+    pub const ALL: [ReduceOp; 3] = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_ops_match_scalar_math() {
+        assert_eq!(BinaryOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinaryOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinaryOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinaryOp::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(BinaryOp::CopyLhs.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinaryOp::CopyRhs.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn operand_usage_flags() {
+        assert!(!BinaryOp::CopyLhs.uses_rhs());
+        assert!(!BinaryOp::CopyRhs.uses_lhs());
+        assert!(BinaryOp::Add.uses_rhs() && BinaryOp::Add.uses_lhs());
+    }
+
+    #[test]
+    fn reduce_identities_are_neutral() {
+        for r in ReduceOp::ALL {
+            for v in [-3.5f32, 0.0, 7.25] {
+                assert_eq!(r.apply(r.identity(), v), v, "{r:?} identity not neutral for {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_min_on_negatives() {
+        assert_eq!(ReduceOp::Max.apply(-5.0, -2.0), -2.0);
+        assert_eq!(ReduceOp::Min.apply(-5.0, -2.0), -5.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: every optimized kernel variant is interchangeable
+//! with the naive reference over random graphs, operators and shapes.
+
+use distgnn_kernels::reference::aggregate_reference;
+use distgnn_kernels::{
+    aggregate, AggregationConfig, BinaryOp, LoopOrder, ReduceOp, Schedule,
+};
+use distgnn_graph::{Csr, EdgeList};
+use distgnn_tensor::init::random_features;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no loops", |(u, v)| u != v);
+        proptest::collection::vec(edge, 0..150).prop_map(move |mut es| {
+            es.sort_unstable();
+            es.dedup();
+            (n, es)
+        })
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = BinaryOp> {
+    proptest::sample::select(BinaryOp::ALL.to_vec())
+}
+
+fn arb_reduce() -> impl Strategy<Value = ReduceOp> {
+    proptest::sample::select(ReduceOp::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_variants_match_reference(
+        (n, es) in arb_graph(),
+        op in arb_op(),
+        red in arb_reduce(),
+        d in 1usize..24,
+        n_blocks in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let g = Csr::from_edges(&EdgeList::from_pairs(n, &es));
+        let f = random_features(n, d, seed);
+        let mut fe = random_features(g.num_edges().max(1), d, seed ^ 1);
+        fe.as_mut_slice().iter_mut().for_each(|x| *x = x.abs() + 0.25);
+        let fe = distgnn_tensor::Matrix::from_vec(
+            g.num_edges(), d,
+            fe.into_vec()[..g.num_edges() * d].to_vec(),
+        );
+        let want = aggregate_reference(&g, &f, Some(&fe), op, red);
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            for loop_order in [LoopOrder::DestinationMajor, LoopOrder::FeatureStrips] {
+                let cfg = AggregationConfig {
+                    n_blocks,
+                    schedule,
+                    loop_order,
+                    chunk_size: 8,
+                };
+                let got = aggregate(&g, &f, Some(&fe), op, red, &cfg);
+                prop_assert!(
+                    got.approx_eq(&want, 1e-3),
+                    "mismatch {op:?}/{red:?}/{schedule:?}/{loop_order:?} n_B={n_blocks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_aggregation_is_linear(
+        (n, es) in arb_graph(),
+        d in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        // AP(a*f) == a * AP(f) for the copy/sum kernel (it is SpMM).
+        let g = Csr::from_edges(&EdgeList::from_pairs(n, &es));
+        let f = random_features(n, d, seed);
+        let cfg = AggregationConfig::optimized(2);
+        let base = aggregate(&g, &f, None, BinaryOp::CopyLhs, ReduceOp::Sum, &cfg);
+        let mut f2 = f.clone();
+        distgnn_tensor::ops::scale(&mut f2, 3.0);
+        let scaled = aggregate(&g, &f2, None, BinaryOp::CopyLhs, ReduceOp::Sum, &cfg);
+        let mut expect = base.clone();
+        distgnn_tensor::ops::scale(&mut expect, 3.0);
+        prop_assert!(scaled.approx_eq(&expect, 1e-2));
+    }
+
+    #[test]
+    fn max_bounds_sum_mean(
+        (n, es) in arb_graph(),
+        seed in 0u64..500,
+    ) {
+        // For non-negative features: per-element max <= sum.
+        let g = Csr::from_edges(&EdgeList::from_pairs(n, &es));
+        let mut f = random_features(n, 4, seed);
+        f.as_mut_slice().iter_mut().for_each(|x| *x = x.abs());
+        let cfg = AggregationConfig::optimized(3);
+        let s = aggregate(&g, &f, None, BinaryOp::CopyLhs, ReduceOp::Sum, &cfg);
+        let m = aggregate(&g, &f, None, BinaryOp::CopyLhs, ReduceOp::Max, &cfg);
+        for v in 0..n {
+            if g.degree(v as u32) == 0 { continue; }
+            for j in 0..4 {
+                prop_assert!(m[(v, j)] <= s[(v, j)] + 1e-4);
+            }
+        }
+    }
+}

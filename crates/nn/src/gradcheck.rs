@@ -1,0 +1,55 @@
+//! Finite-difference gradient checking.
+
+use distgnn_tensor::Matrix;
+
+/// Central-difference gradient of scalar `loss(x)` w.r.t. every element
+/// of `x`. O(|x|) loss evaluations — test-sized inputs only.
+pub fn finite_diff(x: &Matrix, eps: f32, mut loss: impl FnMut(&Matrix) -> f32) -> Matrix {
+    let mut grad = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let mut xp = x.clone();
+            xp[(r, c)] += eps;
+            let mut xm = x.clone();
+            xm[(r, c)] -= eps;
+            grad[(r, c)] = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+        }
+    }
+    grad
+}
+
+/// Maximum absolute deviation between an analytic gradient and its
+/// finite-difference estimate.
+pub fn max_grad_error(analytic: &Matrix, x: &Matrix, eps: f32, loss: impl FnMut(&Matrix) -> f32) -> f32 {
+    let fd = finite_diff(x, eps, loss);
+    analytic
+        .as_slice()
+        .iter()
+        .zip(fd.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_is_2x() {
+        let x = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let g = finite_diff(&x, 1e-3, |m| m.as_slice().iter().map(|v| v * v).sum());
+        for c in 0..3 {
+            assert!((g[(0, c)] - 2.0 * x[(0, c)]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn max_grad_error_flags_wrong_gradient() {
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let analytic_ok = Matrix::from_vec(1, 2, vec![2.0, 4.0]);
+        let analytic_bad = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let loss = |m: &Matrix| m.as_slice().iter().map(|v| v * v).sum::<f32>();
+        assert!(max_grad_error(&analytic_ok, &x, 1e-3, loss) < 1e-2);
+        assert!(max_grad_error(&analytic_bad, &x, 1e-3, loss) > 1.0);
+    }
+}

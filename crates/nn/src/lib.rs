@@ -1,0 +1,22 @@
+//! Minimal neural-network substrate for GraphSAGE full-batch training.
+//!
+//! The paper delegates its dense layers to PyTorch; this crate is the
+//! Rust equivalent sized for the task: linear layers with explicit
+//! backprop, masked softmax cross-entropy, SGD and Adam optimizers
+//! (with the paper's weight decay, `wd = 5e-4`), and a
+//! finite-difference gradient checker the test suite leans on.
+//!
+//! Explicit layer-by-layer backprop (rather than a tape autograd)
+//! mirrors how full-batch GNN systems are actually structured: the
+//! model is a fixed stack of aggregate→linear→ReLU blocks, and each
+//! block caches exactly the activations its backward pass needs.
+
+pub mod gradcheck;
+pub mod linear;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+
+pub use linear::Linear;
+pub use loss::{masked_cross_entropy, CrossEntropyResult};
+pub use optim::{Adam, AdamConfig, Sgd};

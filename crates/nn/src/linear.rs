@@ -1,0 +1,140 @@
+//! Fully-connected layer with explicit backward pass.
+
+use distgnn_tensor::{init, matmul, matmul_a_bt, matmul_at_b, ops, Matrix};
+
+/// `z = x · W + b`, Xavier-initialized.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// `in_dim x out_dim` weights.
+    pub weight: Matrix,
+    /// `out_dim` bias.
+    pub bias: Vec<f32>,
+}
+
+/// Gradients produced by [`Linear::backward`].
+#[derive(Clone, Debug)]
+pub struct LinearGrads {
+    pub grad_input: Matrix,
+    pub grad_weight: Matrix,
+    pub grad_bias: Vec<f32>,
+}
+
+impl Linear {
+    /// New layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut init::InitRng) -> Self {
+        Linear {
+            weight: init::xavier_uniform(in_dim, out_dim, rng),
+            bias: vec![0.0; out_dim],
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Forward pass. Callers keep `input` around for the backward pass.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut z = matmul(input, &self.weight);
+        ops::add_bias(&mut z, &self.bias);
+        z
+    }
+
+    /// Backward pass given the cached forward `input` and the gradient
+    /// of the loss w.r.t. this layer's output.
+    pub fn backward(&self, input: &Matrix, grad_output: &Matrix) -> LinearGrads {
+        assert_eq!(grad_output.cols(), self.out_dim(), "grad_output width");
+        assert_eq!(input.rows(), grad_output.rows(), "row count mismatch");
+        LinearGrads {
+            grad_input: matmul_a_bt(grad_output, &self.weight),
+            grad_weight: matmul_at_b(input, grad_output),
+            grad_bias: ops::column_sums(grad_output),
+        }
+    }
+
+    /// Number of scalar parameters (for AllReduce buffer sizing).
+    pub fn num_params(&self) -> usize {
+        self.weight.rows() * self.weight.cols() + self.bias.len()
+    }
+
+    /// Serializes parameters into `out` (weights row-major, then bias).
+    pub fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weight.as_slice());
+        out.extend_from_slice(&self.bias);
+    }
+
+    /// Loads parameters from `src`, returning the number consumed.
+    pub fn read_params(&mut self, src: &[f32]) -> usize {
+        let nw = self.weight.rows() * self.weight.cols();
+        let nb = self.bias.len();
+        assert!(src.len() >= nw + nb, "parameter buffer too short");
+        self.weight.as_mut_slice().copy_from_slice(&src[..nw]);
+        self.bias.copy_from_slice(&src[nw..nw + nb]);
+        nw + nb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::finite_diff;
+    use distgnn_tensor::init::rng;
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut l = Linear::new(2, 2, &mut rng(0));
+        l.weight = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]);
+        l.bias = vec![0.5, -0.5];
+        let x = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        let z = l.forward(&x);
+        assert_eq!(z.row(0), &[3.5, 7.5]);
+    }
+
+    #[test]
+    fn backward_grad_input_matches_finite_difference() {
+        let l = Linear::new(3, 2, &mut rng(1));
+        let x = Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.3);
+        // Loss = sum(forward(x)); grad_output = ones.
+        let grads = l.backward(&x, &Matrix::full(4, 2, 1.0));
+        let fd = finite_diff(&x, 1e-2, |xp| l.forward(xp).as_slice().iter().sum());
+        assert!(grads.grad_input.approx_eq(&fd, 1e-2), "{:?} vs {:?}", grads.grad_input, fd);
+    }
+
+    #[test]
+    fn backward_grad_weight_matches_finite_difference() {
+        let l = Linear::new(2, 3, &mut rng(2));
+        let x = Matrix::from_fn(5, 2, |r, c| ((r + c) % 3) as f32 * 0.5 - 0.4);
+        let grads = l.backward(&x, &Matrix::full(5, 3, 1.0));
+        let fd = finite_diff(&l.weight, 1e-2, |w| {
+            let mut l2 = l.clone();
+            l2.weight = w.clone();
+            l2.forward(&x).as_slice().iter().sum()
+        });
+        assert!(grads.grad_weight.approx_eq(&fd, 1e-2));
+    }
+
+    #[test]
+    fn grad_bias_is_column_sum() {
+        let l = Linear::new(2, 2, &mut rng(3));
+        let g = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = Matrix::zeros(3, 2);
+        let grads = l.backward(&x, &g);
+        assert_eq!(grads.grad_bias, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let l = Linear::new(4, 3, &mut rng(4));
+        let mut buf = Vec::new();
+        l.write_params(&mut buf);
+        assert_eq!(buf.len(), l.num_params());
+        let mut l2 = Linear::new(4, 3, &mut rng(5));
+        let consumed = l2.read_params(&buf);
+        assert_eq!(consumed, l.num_params());
+        assert_eq!(l2.weight, l.weight);
+        assert_eq!(l2.bias, l.bias);
+    }
+}

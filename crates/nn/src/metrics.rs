@@ -1,0 +1,147 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! The GNN benchmark leaderboards report micro/macro F1 alongside
+//! accuracy (GraphSAGE's original Reddit results are micro-F1), so the
+//! evaluation harness exposes both.
+
+use distgnn_tensor::{reduce, Matrix};
+
+/// Per-class confusion counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    pub true_pos: Vec<u64>,
+    pub false_pos: Vec<u64>,
+    pub false_neg: Vec<u64>,
+}
+
+/// Builds confusion counts for `num_classes` classes over `mask`
+/// (empty mask = all rows).
+pub fn confusion(
+    logits: &Matrix,
+    labels: &[usize],
+    mask: &[usize],
+    num_classes: usize,
+) -> Confusion {
+    assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    let preds = reduce::row_argmax(logits);
+    let mut c = Confusion {
+        true_pos: vec![0; num_classes],
+        false_pos: vec![0; num_classes],
+        false_neg: vec![0; num_classes],
+    };
+    let all: Vec<usize>;
+    let rows: &[usize] = if mask.is_empty() {
+        all = (0..labels.len()).collect();
+        &all
+    } else {
+        mask
+    };
+    for &v in rows {
+        let (p, t) = (preds[v], labels[v]);
+        assert!(t < num_classes, "label out of range");
+        if p == t {
+            c.true_pos[t] += 1;
+        } else {
+            if p < num_classes {
+                c.false_pos[p] += 1;
+            }
+            c.false_neg[t] += 1;
+        }
+    }
+    c
+}
+
+/// Micro-averaged F1 (= accuracy for single-label classification).
+pub fn micro_f1(c: &Confusion) -> f64 {
+    let tp: u64 = c.true_pos.iter().sum();
+    let fp: u64 = c.false_pos.iter().sum();
+    let fal_n: u64 = c.false_neg.iter().sum();
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fal_n) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Macro-averaged F1: unweighted mean of per-class F1 over classes
+/// that appear (tp + fn > 0).
+pub fn macro_f1(c: &Confusion) -> f64 {
+    let mut sum = 0.0;
+    let mut classes = 0usize;
+    for k in 0..c.true_pos.len() {
+        let (tp, fp, fal_n) = (c.true_pos[k], c.false_pos[k], c.false_neg[k]);
+        if tp + fal_n == 0 {
+            continue;
+        }
+        classes += 1;
+        if tp == 0 {
+            continue;
+        }
+        let p = tp as f64 / (tp + fp) as f64;
+        let r = tp as f64 / (tp + fal_n) as f64;
+        sum += 2.0 * p * r / (p + r);
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        sum / classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits_for(preds: &[usize], k: usize) -> Matrix {
+        let mut m = Matrix::zeros(preds.len(), k);
+        for (r, &p) in preds.iter().enumerate() {
+            m[(r, p)] = 1.0;
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let labels = [0usize, 1, 2, 1];
+        let logits = logits_for(&labels, 3);
+        let c = confusion(&logits, &labels, &[], 3);
+        assert!((micro_f1(&c) - 1.0).abs() < 1e-12);
+        assert!((macro_f1(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_f1_equals_accuracy_for_single_label() {
+        let labels = [0usize, 1, 1, 0];
+        let logits = logits_for(&[0, 0, 1, 1], 2); // 2 of 4 correct
+        let c = confusion(&logits, &labels, &[], 2);
+        assert!((micro_f1(&c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_minority_class_failure() {
+        // Class 1 appears once and is always missed; class 0 perfect.
+        let labels = [0usize, 0, 0, 1];
+        let logits = logits_for(&[0, 0, 0, 0], 2);
+        let c = confusion(&logits, &labels, &[], 2);
+        let micro = micro_f1(&c);
+        let macro_ = macro_f1(&c);
+        assert!(macro_ < micro, "macro {macro_} vs micro {micro}");
+    }
+
+    #[test]
+    fn mask_restricts_evaluation() {
+        let labels = [0usize, 1];
+        let logits = logits_for(&[0, 0], 2); // second is wrong
+        let c = confusion(&logits, &labels, &[0], 2);
+        assert!((micro_f1(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_classes_are_skipped_in_macro() {
+        let labels = [0usize, 0];
+        let logits = logits_for(&[0, 0], 5);
+        let c = confusion(&logits, &labels, &[], 5);
+        assert!((macro_f1(&c) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! SGD and Adam optimizers with decoupled weight decay.
+//!
+//! Both operate on flat parameter slices so the distributed trainer can
+//! serialize a model into one buffer, AllReduce the gradients, and step
+//! every replica identically (DESIGN.md invariant 5). Adam keeps one
+//! `(m, v)` state pair per registered slot.
+
+/// Plain SGD: `p -= lr * (g + wd * p)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    pub lr: f32,
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Sgd { lr, weight_decay }
+    }
+
+    pub fn step(&self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        for (p, &g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * (g + self.weight_decay * *p);
+        }
+    }
+}
+
+/// Adam hyperparameters. Defaults match the paper's training setup
+/// (`wd = 5e-4`) with standard betas.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+}
+
+impl AdamConfig {
+    pub fn with_lr(lr: f32) -> Self {
+        AdamConfig { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 5e-4 }
+    }
+}
+
+/// Adam with per-slot first/second moment state.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub config: AdamConfig,
+    state: Vec<Option<(Vec<f32>, Vec<f32>)>>,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config, state: Vec::new(), t: 0 }
+    }
+
+    /// Advances the shared timestep; call once per optimization step,
+    /// before stepping the slots of that round.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Updates `params` in slot `slot` using `grads`. Slots identify
+    /// parameter tensors (layer 0 weights = slot 0, etc.) and must be
+    /// used consistently across steps.
+    pub fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        assert!(self.t > 0, "call begin_step before step");
+        if slot >= self.state.len() {
+            self.state.resize(slot + 1, None);
+        }
+        let (m, v) = self.state[slot]
+            .get_or_insert_with(|| (vec![0.0; params.len()], vec![0.0; params.len()]));
+        assert_eq!(m.len(), params.len(), "slot reused with different size");
+        let c = self.config;
+        let bc1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - c.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + c.weight_decay * params[i];
+            m[i] = c.beta1 * m[i] + (1.0 - c.beta1) * g;
+            v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            params[i] -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        // Minimize f(p) = p^2; grad = 2p.
+        let sgd = Sgd::new(0.1, 0.0);
+        let mut p = [5.0f32];
+        for _ in 0..100 {
+            let g = [2.0 * p[0]];
+            sgd.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let sgd = Sgd::new(0.1, 0.5);
+        let mut p = [1.0f32];
+        sgd.step(&mut p, &[0.0]);
+        assert!((p[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut adam = Adam::new(AdamConfig { weight_decay: 0.0, ..AdamConfig::with_lr(0.1) });
+        let mut p = [5.0f32];
+        for _ in 0..300 {
+            adam.begin_step();
+            let g = [2.0 * p[0]];
+            adam.step(0, &mut p, &g);
+        }
+        assert!(p[0].abs() < 1e-2, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, |Δp| of step 1 ~= lr regardless of grad scale.
+        for scale in [1e-3f32, 1.0, 1e3] {
+            let mut adam = Adam::new(AdamConfig { weight_decay: 0.0, ..AdamConfig::with_lr(0.05) });
+            let mut p = [0.0f32];
+            adam.begin_step();
+            adam.step(0, &mut p, &[scale]);
+            assert!((p[0].abs() - 0.05).abs() < 1e-3, "scale {scale} gave {}", p[0]);
+        }
+    }
+
+    #[test]
+    fn adam_slots_are_independent() {
+        let mut adam = Adam::new(AdamConfig { weight_decay: 0.0, ..AdamConfig::with_lr(0.1) });
+        let mut a = [1.0f32];
+        let mut b = [1.0f32, 2.0];
+        adam.begin_step();
+        adam.step(0, &mut a, &[1.0]);
+        adam.step(1, &mut b, &[1.0, 1.0]);
+        adam.begin_step();
+        adam.step(0, &mut a, &[1.0]);
+        adam.step(1, &mut b, &[1.0, 1.0]);
+        assert!(a[0] < 1.0 && b[0] < 1.0);
+    }
+
+    #[test]
+    fn identical_replicas_stay_identical() {
+        // Two replicas stepping with equal grads remain bit-identical —
+        // the property distributed gradient sync relies on.
+        let mk = || Adam::new(AdamConfig::with_lr(0.01));
+        let (mut o1, mut o2) = (mk(), mk());
+        let (mut p1, mut p2) = ([0.5f32, -0.5], [0.5f32, -0.5]);
+        for step in 0..20 {
+            let g = [step as f32 * 0.1 - 0.3, 0.2];
+            o1.begin_step();
+            o2.begin_step();
+            o1.step(0, &mut p1, &g);
+            o2.step(0, &mut p2, &g);
+        }
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn step_without_begin_panics() {
+        let mut adam = Adam::new(AdamConfig::with_lr(0.1));
+        let mut p = [0.0f32];
+        adam.step(0, &mut p, &[1.0]);
+    }
+}

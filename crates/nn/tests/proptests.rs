@@ -1,0 +1,112 @@
+//! Property tests for the NN substrate.
+
+use distgnn_nn::linear::Linear;
+use distgnn_nn::{masked_cross_entropy, Adam, AdamConfig, Sgd};
+use distgnn_tensor::{init, Matrix};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |d| Matrix::from_vec(rows, cols, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_forward_is_affine(x in arb_matrix(4, 3), seed in 0u64..100) {
+        // f(a + b) - f(b) == f(a) - f(0)  (bias cancels).
+        let l = Linear::new(3, 2, &mut init::rng(seed));
+        let zero = Matrix::zeros(4, 3);
+        let mut sum = x.clone();
+        distgnn_tensor::ops::add_assign(&mut sum, &x);
+        let lhs_a = l.forward(&sum);
+        let lhs_b = l.forward(&x);
+        let rhs_a = l.forward(&x);
+        let rhs_b = l.forward(&zero);
+        for i in 0..4 {
+            for j in 0..2 {
+                let lhs = lhs_a[(i, j)] - lhs_b[(i, j)];
+                let rhs = rhs_a[(i, j)] - rhs_b[(i, j)];
+                prop_assert!((lhs - rhs).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_gradients_check_against_finite_difference(
+        seed in 0u64..50,
+        rows in 1usize..5,
+    ) {
+        let l = Linear::new(3, 2, &mut init::rng(seed));
+        let x = init::uniform(rows, 3, -1.0, 1.0, &mut init::rng(seed ^ 1));
+        let grads = l.backward(&x, &Matrix::full(rows, 2, 1.0));
+        let err = distgnn_nn::gradcheck::max_grad_error(
+            &grads.grad_input, &x, 1e-2,
+            |xp| l.forward(xp).as_slice().iter().sum(),
+        );
+        prop_assert!(err < 2e-2, "max grad error {err}");
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_grad_sums_zero(
+        logits in arb_matrix(6, 4),
+        seed in 0u64..100,
+    ) {
+        let labels: Vec<usize> = (0..6).map(|i| ((i as u64 + seed) % 4) as usize).collect();
+        let ce = masked_cross_entropy(&logits, &labels, &[]);
+        prop_assert!(ce.loss >= 0.0);
+        for r in 0..6 {
+            let s: f32 = ce.grad_logits.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn sgd_with_zero_lr_is_identity(p0 in proptest::collection::vec(-3.0f32..3.0, 1..10)) {
+        let sgd = Sgd::new(0.0, 0.0);
+        let mut p = p0.clone();
+        let g: Vec<f32> = p0.iter().map(|x| x * 2.0 + 1.0).collect();
+        sgd.step(&mut p, &g);
+        prop_assert_eq!(p, p0);
+    }
+
+    #[test]
+    fn adam_steps_are_bounded_by_lr(
+        grads in proptest::collection::vec(-100.0f32..100.0, 1..8),
+        lr in 0.001f32..0.1,
+    ) {
+        // Adam's per-step displacement is ~lr regardless of grad scale.
+        let mut adam = Adam::new(AdamConfig { weight_decay: 0.0, ..AdamConfig::with_lr(lr) });
+        let mut p = vec![0.0f32; grads.len()];
+        adam.begin_step();
+        adam.step(0, &mut p, &grads);
+        for (i, (&x, &g)) in p.iter().zip(&grads).enumerate() {
+            if g.abs() > 1e-3 {
+                prop_assert!(x.abs() <= lr * 1.1, "param {i}: step {x} exceeds lr {lr}");
+            }
+        }
+    }
+
+    #[test]
+    fn training_a_linear_separator_converges(seed in 0u64..30) {
+        // 2-class toy problem: label = sign of x0. A single linear
+        // layer + CE must fit it from any seed.
+        let mut rng = init::rng(seed);
+        let x = init::uniform(40, 2, -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..40).map(|i| usize::from(x[(i, 0)] > 0.0)).collect();
+        let mut l = Linear::new(2, 2, &mut rng);
+        let mut adam = Adam::new(AdamConfig { weight_decay: 0.0, ..AdamConfig::with_lr(0.1) });
+        let mut last = f32::MAX;
+        for _ in 0..150 {
+            let logits = l.forward(&x);
+            let ce = masked_cross_entropy(&logits, &labels, &[]);
+            let g = l.backward(&x, &ce.grad_logits);
+            adam.begin_step();
+            adam.step(0, l.weight.as_mut_slice(), g.grad_weight.as_slice());
+            adam.step(1, &mut l.bias, &g.grad_bias);
+            last = ce.loss;
+        }
+        prop_assert!(last < 0.3, "loss stuck at {last}");
+    }
+}

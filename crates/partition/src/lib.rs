@@ -1,0 +1,30 @@
+//! Vertex-cut graph partitioning for DistGNN (§5.1–§5.2).
+//!
+//! DistGNN distributes *edges* across sockets with Libra's greedy
+//! vertex-cut: each edge goes to the least-loaded partition already
+//! "relevant" to its endpoints. A vertex incident to edges in several
+//! partitions is *split*; each split copy (clone) owns a partial
+//! neighbourhood, and synchronizing the clones' partial aggregates is
+//! exactly the communication the distributed algorithms (`cd-0`,
+//! `cd-r`) schedule.
+//!
+//! This crate provides:
+//! - [`libra::libra_partition`] — the greedy partitioner;
+//! - [`random::hash_partition`] — a degenerate baseline for ablation;
+//! - [`setup::PartitionedGraph`] — per-partition local graphs, the
+//!   global↔local id maps of §5.2, and the 1-level clone trees + routing
+//!   tables the DRPA algorithm communicates over;
+//! - [`metrics`] — replication factor (Table 4), edge balance and
+//!   split-vertex percentages (Table 6).
+
+pub mod ldg;
+pub mod libra;
+pub mod metrics;
+pub mod random;
+pub mod setup;
+
+pub use libra::{libra_partition, Partitioning};
+pub use setup::{Partition, PartitionedGraph};
+
+/// Partition index. The paper scales to 128 sockets; `u16` is ample.
+pub type PartId = u16;

@@ -1,0 +1,114 @@
+//! Partition-quality metrics: Table 4 and Table 6 quantities.
+
+use crate::libra::Partitioning;
+
+/// Average replication factor: mean clone count over vertices incident
+/// to at least one edge (Table 4). 1.0 means no vertex is split.
+pub fn replication_factor(p: &Partitioning) -> f64 {
+    let (sum, cnt) = p
+        .vertex_parts
+        .iter()
+        .filter(|parts| !parts.is_empty())
+        .fold((0usize, 0usize), |(s, c), parts| (s + parts.len(), c + 1));
+    if cnt == 0 {
+        1.0
+    } else {
+        sum as f64 / cnt as f64
+    }
+}
+
+/// Edge balance: max partition load divided by the mean load. 1.0 is
+/// perfectly balanced.
+pub fn edge_balance(p: &Partitioning) -> f64 {
+    let max = *p.edge_loads.iter().max().unwrap_or(&0);
+    let total: usize = p.edge_loads.iter().sum();
+    if total == 0 {
+        1.0
+    } else {
+        max as f64 / (total as f64 / p.num_parts as f64)
+    }
+}
+
+/// Per-partition split-vertex percentage (Table 6's bottom row): of
+/// the vertices present in partition `q`, the fraction that also exist
+/// elsewhere.
+pub fn split_vertex_percentages(p: &Partitioning) -> Vec<f64> {
+    let mut present = vec![0usize; p.num_parts];
+    let mut split = vec![0usize; p.num_parts];
+    for parts in &p.vertex_parts {
+        for &q in parts {
+            present[q as usize] += 1;
+            if parts.len() > 1 {
+                split[q as usize] += 1;
+            }
+        }
+    }
+    present
+        .iter()
+        .zip(&split)
+        .map(|(&n, &s)| if n == 0 { 0.0 } else { 100.0 * s as f64 / n as f64 })
+        .collect()
+}
+
+/// Total clone count summed over partitions — proportional to the
+/// communication volume of `cd-0` (each clone sends/receives once per
+/// sync).
+pub fn total_clones(p: &Partitioning) -> usize {
+    p.vertex_parts.iter().map(Vec::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libra_partition;
+    use distgnn_graph::generators::{community_power_law, erdos_renyi};
+    use distgnn_graph::EdgeList;
+
+    #[test]
+    fn single_partition_has_rf_one() {
+        let e = EdgeList::from_pairs(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = libra_partition(&e, 1);
+        assert!((replication_factor(&p) - 1.0).abs() < 1e-12);
+        assert!((edge_balance(&p) - 1.0).abs() < 1e-12);
+        assert!(split_vertex_percentages(&p).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn replication_factor_grows_with_partitions() {
+        let e = community_power_law(500, 6000, 8, 0.8, 0.9, 3).symmetrize();
+        let rf: Vec<f64> = [2, 4, 8, 16]
+            .iter()
+            .map(|&k| replication_factor(&libra_partition(&e, k)))
+            .collect();
+        for w in rf.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "rf must be non-decreasing: {rf:?}");
+        }
+        assert!(rf[0] >= 1.0);
+    }
+
+    #[test]
+    fn clustered_graph_partitions_better_than_random_graph() {
+        // The Proteins effect (Table 4): natural clusters -> lower rf.
+        let clustered = community_power_law(600, 6000, 16, 0.97, 0.3, 4).symmetrize();
+        let uniform = erdos_renyi(600, 6000, 4).symmetrize();
+        let rf_c = replication_factor(&libra_partition(&clustered, 8));
+        let rf_u = replication_factor(&libra_partition(&uniform, 8));
+        assert!(rf_c < rf_u, "clustered {rf_c:.2} vs uniform {rf_u:.2}");
+    }
+
+    #[test]
+    fn libra_balance_is_tight() {
+        let e = community_power_law(500, 8000, 8, 0.85, 0.9, 5).symmetrize();
+        let p = libra_partition(&e, 8);
+        assert!(edge_balance(&p) < 1.2, "balance {}", edge_balance(&p));
+    }
+
+    #[test]
+    fn total_clones_consistent_with_rf() {
+        let e = community_power_law(300, 3000, 4, 0.8, 0.8, 6).symmetrize();
+        let p = libra_partition(&e, 4);
+        let non_isolated = p.vertex_parts.iter().filter(|v| !v.is_empty()).count();
+        let rf = replication_factor(&p);
+        assert!((total_clones(&p) as f64 - rf * non_isolated as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,69 @@
+//! Hash-based edge partitioning — the no-locality baseline.
+//!
+//! Assigns each edge by a hash of its endpoints. Balanced in
+//! expectation but oblivious to clone reuse, so its replication factor
+//! upper-bounds what Libra should beat; the partitioning ablation bench
+//! compares the two.
+
+use crate::libra::Partitioning;
+use crate::PartId;
+use distgnn_graph::EdgeList;
+
+/// Deterministic hash partitioner.
+pub fn hash_partition(edges: &EdgeList, num_parts: usize) -> Partitioning {
+    assert!(num_parts >= 1);
+    let n = edges.num_vertices();
+    let mut vertex_parts: Vec<Vec<PartId>> = vec![Vec::new(); n];
+    let mut edge_loads = vec![0usize; num_parts];
+    let mut edge_assign = Vec::with_capacity(edges.num_edges());
+    for (_, u, v) in edges.iter() {
+        let h = splitmix64(((u as u64) << 32) | v as u64);
+        let p = (h % num_parts as u64) as PartId;
+        edge_assign.push(p);
+        edge_loads[p as usize] += 1;
+        for w in [u, v] {
+            let parts = &mut vertex_parts[w as usize];
+            if let Err(pos) = parts.binary_search(&p) {
+                parts.insert(pos, p);
+            }
+        }
+    }
+    Partitioning { num_parts, num_vertices: n, edge_assign, vertex_parts, edge_loads }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libra_partition;
+    use crate::metrics::replication_factor;
+    use distgnn_graph::generators::community_power_law;
+
+    #[test]
+    fn hash_assigns_all_edges_in_range() {
+        let e = community_power_law(100, 500, 4, 0.9, 0.8, 1).symmetrize();
+        let p = hash_partition(&e, 8);
+        assert_eq!(p.edge_assign.len(), e.num_edges());
+        assert!(p.edge_assign.iter().all(|&x| (x as usize) < 8));
+        assert_eq!(p.edge_loads.iter().sum::<usize>(), e.num_edges());
+    }
+
+    #[test]
+    fn libra_beats_hash_on_replication_factor() {
+        let e = community_power_law(400, 4000, 8, 0.9, 0.9, 2).symmetrize();
+        let libra = libra_partition(&e, 8);
+        let hash = hash_partition(&e, 8);
+        let rf_libra = replication_factor(&libra);
+        let rf_hash = replication_factor(&hash);
+        assert!(
+            rf_libra < rf_hash,
+            "libra {rf_libra:.2} should beat hash {rf_hash:.2}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for partitioning invariants (DESIGN.md invariant 4).
+
+use distgnn_graph::EdgeList;
+use distgnn_partition::metrics::{edge_balance, replication_factor, total_clones};
+use distgnn_partition::{libra_partition, PartitionedGraph};
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4usize..50).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no loops", |(u, v)| u != v);
+        proptest::collection::vec(edge, 1..250).prop_map(move |mut es| {
+            es.sort_unstable();
+            es.dedup();
+            (n, es)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn each_edge_in_exactly_one_partition((n, es) in arb_edges(), k in 1usize..9) {
+        let el = EdgeList::from_pairs(n, &es);
+        let p = libra_partition(&el, k);
+        prop_assert_eq!(p.edge_assign.len(), es.len());
+        prop_assert_eq!(p.edge_loads.iter().sum::<usize>(), es.len());
+        let mut recount = vec![0usize; k];
+        for &a in &p.edge_assign {
+            recount[a as usize] += 1;
+        }
+        prop_assert_eq!(recount, p.edge_loads.clone());
+    }
+
+    #[test]
+    fn replication_factor_bounds((n, es) in arb_edges(), k in 1usize..9) {
+        let el = EdgeList::from_pairs(n, &es);
+        let p = libra_partition(&el, k);
+        let rf = replication_factor(&p);
+        prop_assert!(rf >= 1.0 - 1e-9);
+        prop_assert!(rf <= k as f64 + 1e-9);
+        // Clones per vertex never exceed partitions or its degree.
+        let el_full = &el;
+        let mut inc = vec![0usize; n];
+        for (_, u, v) in el_full.iter() {
+            inc[u as usize] += 1;
+            inc[v as usize] += 1;
+        }
+        for v in 0..n as u32 {
+            let c = p.clone_count(v);
+            prop_assert!(c <= k);
+            prop_assert!(c <= inc[v as usize]);
+        }
+    }
+
+    #[test]
+    fn balance_within_greedy_bound((n, es) in arb_edges(), k in 1usize..9) {
+        let el = EdgeList::from_pairs(n, &es);
+        let p = libra_partition(&el, k);
+        if es.len() >= 4 * k {
+            prop_assert!(edge_balance(&p) <= 2.0, "balance {}", edge_balance(&p));
+        }
+    }
+
+    #[test]
+    fn setup_preserves_edges_and_vertices((n, es) in arb_edges(), k in 1usize..6) {
+        let el = EdgeList::from_pairs(n, &es);
+        let p = libra_partition(&el, k);
+        let pg = PartitionedGraph::build(&el, &p, 11);
+        let total_edges: usize = pg.parts.iter().map(|pt| pt.graph.num_edges()).sum();
+        prop_assert_eq!(total_edges, es.len());
+        // Rebuild global edge multiset from local graphs.
+        let mut rebuilt: Vec<(u32, u32)> = Vec::new();
+        for part in &pg.parts {
+            for lv in 0..part.graph.num_vertices() as u32 {
+                for &lu in part.graph.neighbors(lv) {
+                    rebuilt.push((
+                        part.global_ids[lu as usize],
+                        part.global_ids[lv as usize],
+                    ));
+                }
+            }
+        }
+        rebuilt.sort_unstable();
+        let mut want = es.clone();
+        want.sort_unstable();
+        prop_assert_eq!(rebuilt, want);
+        // Clone accounting: local vertices = clones + isolated.
+        let isolated = (0..n as u32).filter(|&v| p.clone_count(v) == 0).count();
+        prop_assert_eq!(pg.total_local_vertices(), total_clones(&p) + isolated);
+    }
+
+    #[test]
+    fn tree_roots_hold_their_vertices((n, es) in arb_edges(), k in 2usize..6) {
+        let el = EdgeList::from_pairs(n, &es);
+        let p = libra_partition(&el, k);
+        let pg = PartitionedGraph::build(&el, &p, 13);
+        for &v in &pg.split_vertices {
+            let root = pg.root_of[v as usize];
+            prop_assert!((root as usize) < k);
+            prop_assert!(p.vertex_parts[v as usize].contains(&root));
+            prop_assert!(pg.parts[root as usize].local_of(v).is_some());
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Half-precision (bfloat16 / IEEE fp16) conversions.
+//!
+//! DistGNN's conclusion names FP16/BFLOAT16 communication as future
+//! work for cutting the partial-aggregate volume in half; the
+//! distributed trainer implements that here. Only conversions are
+//! needed — arithmetic stays in f32, the wire format is 16-bit.
+
+/// f32 → bfloat16 (round-to-nearest-even), as raw bits.
+#[inline]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    // Round to nearest even on the truncated 16 bits.
+    let round_bit = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7FFF + round_bit);
+    if x.is_nan() {
+        // Preserve NaN (quiet).
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    (rounded >> 16) as u16
+}
+
+/// bfloat16 bits → f32.
+#[inline]
+pub fn bf16_to_f32(x: u16) -> f32 {
+    f32::from_bits((x as u32) << 16)
+}
+
+/// f32 → IEEE 754 half (round-to-nearest-even), as raw bits.
+#[inline]
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        let m = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | m;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half_exp = ((unbiased + 15) as u32) << 10;
+        let half_mant = mant >> 13;
+        let round = (mant >> 12) & 1;
+        let sticky = u32::from(mant & 0x0FFF != 0);
+        let mut h = half_exp | half_mant;
+        if round == 1 && (sticky == 1 || half_mant & 1 == 1) {
+            h += 1;
+        }
+        return sign | h as u16;
+    }
+    if unbiased >= -24 {
+        // Subnormal half: M = round(x * 2^24) = F >> (-unbiased - 1),
+        // where F is the 24-bit significand with the implicit bit.
+        let shift = (-unbiased - 1) as u32; // 14..=23
+        let full_mant = mant | 0x0080_0000;
+        let half_mant = full_mant >> shift;
+        let round = (full_mant >> (shift - 1)) & 1;
+        let mut h = half_mant;
+        if round == 1 {
+            h += 1;
+        }
+        return sign | h as u16;
+    }
+    sign // underflow to zero
+}
+
+/// IEEE 754 half bits → f32.
+#[inline]
+pub fn f16_to_f32(x: u16) -> f32 {
+    let sign = ((x & 0x8000) as u32) << 16;
+    let exp = ((x >> 10) & 0x1F) as u32;
+    let mant = (x & 0x03FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: value = m * 2^-24; normalize around the
+            // most-significant set bit p.
+            let p = 31 - m.leading_zeros();
+            let exp_f = 127 + p - 24;
+            let mant_f = (m << (23 - p)) & 0x007F_FFFF;
+            sign | (exp_f << 23) | mant_f
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13) | 0x0040_0000,
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Packs a f32 slice into half as many f32s, two 16-bit values per
+/// word, using `enc`. The payload stays `Vec<f32>` so it travels over
+/// the existing collectives while genuinely halving the byte volume.
+pub fn pack_half(src: &[f32], enc: impl Fn(f32) -> u16) -> Vec<f32> {
+    let mut out = Vec::with_capacity(src.len().div_ceil(2));
+    let mut iter = src.chunks_exact(2);
+    for pair in &mut iter {
+        let lo = enc(pair[0]) as u32;
+        let hi = (enc(pair[1]) as u32) << 16;
+        out.push(f32::from_bits(hi | lo));
+    }
+    if let [last] = iter.remainder() {
+        out.push(f32::from_bits(enc(*last) as u32));
+    }
+    out
+}
+
+/// Inverse of [`pack_half`]; `len` is the original element count.
+pub fn unpack_half(packed: &[f32], len: usize, dec: impl Fn(u16) -> f32) -> Vec<f32> {
+    assert_eq!(packed.len(), len.div_ceil(2), "packed length mismatch");
+    let mut out = Vec::with_capacity(len);
+    for (i, word) in packed.iter().enumerate() {
+        let bits = word.to_bits();
+        out.push(dec((bits & 0xFFFF) as u16));
+        if 2 * i + 1 < len {
+            out.push(dec((bits >> 16) as u16));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_round_trip_small_error() {
+        for &x in &[0.0f32, 1.0, -1.0, 3.25159, -127.5, 1e-3, 1e30, -1e-30] {
+            let y = bf16_to_f32(f32_to_bf16(x));
+            let rel = if x == 0.0 { y.abs() } else { ((y - x) / x).abs() };
+            assert!(rel < 0.01, "{x} -> {y}");
+        }
+    }
+
+    #[test]
+    fn bf16_preserves_specials() {
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        assert_eq!(bf16_to_f32(f32_to_bf16(0.0)), 0.0);
+    }
+
+    #[test]
+    fn f16_round_trip_small_error() {
+        for &x in &[0.0f32, 1.0, -1.0, 3.25159, 0.000061, 655.0, -0.1] {
+            let y = f16_to_f32(f32_to_f16(x));
+            let rel = if x == 0.0 { y.abs() } else { ((y - x) / x).abs() };
+            assert!(rel < 0.001, "{x} -> {y} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn f16_exact_values_round_trip_exactly() {
+        for &x in &[0.5f32, 1.0, 2.0, -4.0, 0.25, 1024.0] {
+            assert_eq!(f16_to_f32(f32_to_f16(x)), x);
+        }
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_inf() {
+        assert_eq!(f16_to_f32(f32_to_f16(1e6)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(-1e6)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_subnormals_round_trip() {
+        let x = 1e-7f32; // subnormal in half precision
+        let y = f16_to_f32(f32_to_f16(x));
+        assert!(y > 0.0 && (y - x).abs() / x < 0.5, "{x} -> {y}");
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_even_and_odd() {
+        for len in [0usize, 1, 2, 5, 8, 33] {
+            let src: Vec<f32> = (0..len).map(|i| i as f32 * 0.5 - 3.0).collect();
+            let packed = pack_half(&src, f32_to_bf16);
+            assert_eq!(packed.len(), len.div_ceil(2));
+            let back = unpack_half(&packed, len, bf16_to_f32);
+            assert_eq!(back.len(), len);
+            for (a, b) in src.iter().zip(&back) {
+                assert!((a - b).abs() <= a.abs() * 0.01 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_volume_is_half() {
+        let src = vec![1.0f32; 1000];
+        assert_eq!(pack_half(&src, f32_to_bf16).len(), 500);
+    }
+}

@@ -1,0 +1,34 @@
+//! Dense row-major `f32` matrix substrate for the DistGNN reproduction.
+//!
+//! DistGNN (SC'21) runs GraphSAGE full-batch training, which interleaves a
+//! sparse aggregation primitive with dense multi-layer-perceptron work.
+//! The paper uses PyTorch for the dense side; this crate is the minimal
+//! equivalent: a row-major matrix type, blocked and rayon-parallel matrix
+//! multiplication (including the transposed forms needed by backprop),
+//! row-wise reductions, softmax, and parameter initializers.
+//!
+//! Feature matrices in GNN training are tall and skinny (`|V| x d` with
+//! `d` in the tens to hundreds), so every routine here is written to
+//! stream rows contiguously and to parallelize across rows.
+
+pub mod half;
+pub mod init;
+pub mod matmul;
+pub mod matrix;
+pub mod ops;
+pub mod reduce;
+pub mod softmax;
+
+pub use init::{xavier_uniform, InitRng};
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use matrix::Matrix;
+
+/// Absolute tolerance used by the crate's approximate-equality helpers.
+pub const DEFAULT_TOL: f32 = 1e-4;
+
+/// Returns true when `a` and `b` agree element-wise within `tol`.
+/// Bit-equal values (including infinities, which max/min reductions
+/// produce for isolated vertices) always compare equal; NaNs never do.
+pub fn approx_eq_slice(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y || (x - y).abs() <= tol)
+}

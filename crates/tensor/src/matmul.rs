@@ -1,0 +1,208 @@
+//! Blocked, rayon-parallel dense matrix multiplication.
+//!
+//! GraphSAGE's MLP stage needs three product forms, one for the forward
+//! pass and two for backprop:
+//!
+//! - `C = A · B`          (forward: activations × weights)
+//! - `C = Aᵀ · B`         (weight gradient: activationsᵀ × output-grad)
+//! - `C = A · Bᵀ`         (input gradient: output-grad × weightsᵀ)
+//!
+//! All three are written as row-parallel loops with a k-outer/j-inner
+//! kernel so the innermost loop streams contiguous memory and
+//! auto-vectorizes (the `ikj` order recommended for row-major storage).
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// `C = A · B`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions {} and {} differ",
+        a.cols(),
+        b.rows()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            let a_row = a.row(i);
+            for p in 0..k {
+                let aip = a_row[p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[p * n..(p + 1) * n];
+                for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                    *c_el += aip * b_el;
+                }
+            }
+        });
+    c
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+///
+/// `A` is `m x k`, `B` is `m x n`, the result is `k x n`. This is the
+/// weight-gradient product, where `m = |V|` is large and `k, n` are the
+/// (small) layer widths, so we parallelize the reduction over row blocks
+/// of `A`/`B` and sum per-thread partials.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_b: row counts {} and {} differ",
+        a.rows(),
+        b.rows()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let block = 1024usize;
+    let n_blocks = m.div_ceil(block).max(1);
+    let partials: Vec<Vec<f32>> = (0..n_blocks)
+        .into_par_iter()
+        .map(|blk| {
+            let lo = blk * block;
+            let hi = (lo + block).min(m);
+            let mut acc = vec![0.0f32; k * n];
+            for i in lo..hi {
+                let a_row = a.row(i);
+                let b_row = b.row(i);
+                for (p, &ap) in a_row.iter().enumerate() {
+                    if ap == 0.0 {
+                        continue;
+                    }
+                    let acc_row = &mut acc[p * n..(p + 1) * n];
+                    for (c_el, &b_el) in acc_row.iter_mut().zip(b_row) {
+                        *c_el += ap * b_el;
+                    }
+                }
+            }
+            acc
+        })
+        .collect();
+    let mut out = vec![0.0f32; k * n];
+    for part in partials {
+        for (o, p) in out.iter_mut().zip(part) {
+            *o += p;
+        }
+    }
+    Matrix::from_vec(k, n, out)
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+///
+/// `A` is `m x k`, `B` is `n x k`, the result is `m x n`.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_a_bt: inner dimensions {} and {} differ",
+        a.cols(),
+        b.cols()
+    );
+    let (m, n) = (a.rows(), b.rows());
+    let mut c = Matrix::zeros(m, n);
+    c.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            let a_row = a.row(i);
+            for (j, c_el) in c_row.iter_mut().enumerate() {
+                let b_row = b.row(j);
+                let mut dot = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    dot += x * y;
+                }
+                *c_el = dot;
+            }
+        });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_TOL;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn arange(r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| ((i * c + j) % 7) as f32 - 3.0)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = arange(13, 9);
+        let b = arange(9, 11);
+        assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), DEFAULT_TOL));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = arange(5, 5);
+        let i = Matrix::identity(5);
+        assert!(matmul(&a, &i).approx_eq(&a, DEFAULT_TOL));
+        assert!(matmul(&i, &a).approx_eq(&a, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = arange(17, 6);
+        let b = arange(17, 4);
+        let expect = naive(&a.transpose(), &b);
+        assert!(matmul_at_b(&a, &b).approx_eq(&expect, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn at_b_crosses_block_boundary() {
+        // 1500 rows > one 1024-row block: exercises partial merging.
+        let a = Matrix::from_fn(1500, 3, |i, j| ((i + j) % 5) as f32);
+        let b = Matrix::from_fn(1500, 2, |i, j| ((i * 2 + j) % 3) as f32);
+        let expect = naive(&a.transpose(), &b);
+        assert!(matmul_at_b(&a, &b).approx_eq(&expect, 1e-2));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = arange(8, 6);
+        let b = arange(10, 6);
+        let expect = naive(&a, &b.transpose());
+        assert!(matmul_a_bt(&a, &b).approx_eq(&expect, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn empty_dims_are_fine() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(matmul(&a, &b).shape(), (0, 3));
+        let c = Matrix::zeros(4, 0);
+        assert_eq!(matmul(&b.transpose(), &c).shape(), (3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Row-wise reductions and classification helpers.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Per-row sum.
+pub fn row_sums(a: &Matrix) -> Vec<f32> {
+    a.rows_iter().map(|row| row.iter().sum()).collect()
+}
+
+/// Per-row index of the maximum element (ties resolve to the first).
+/// Empty rows (cols == 0) yield index 0.
+pub fn row_argmax(a: &Matrix) -> Vec<usize> {
+    a.rows_iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                })
+                .0
+        })
+        .collect()
+}
+
+/// Fraction of rows whose argmax equals the label. Rows listed in
+/// `mask` only (e.g. the test split); an empty mask means "all rows".
+pub fn masked_accuracy(logits: &Matrix, labels: &[usize], mask: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    let preds = row_argmax(logits);
+    let check = |i: &usize| preds[*i] == labels[*i];
+    if mask.is_empty() {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..labels.len()).filter(|i| check(i)).count();
+        correct as f32 / labels.len() as f32
+    } else {
+        let correct = mask.iter().filter(|i| check(i)).count();
+        correct as f32 / mask.len() as f32
+    }
+}
+
+/// Mean of all elements.
+pub fn mean(a: &Matrix) -> f32 {
+    let n = a.rows() * a.cols();
+    if n == 0 {
+        0.0
+    } else {
+        a.as_slice().iter().sum::<f32>() / n as f32
+    }
+}
+
+/// Largest absolute element; 0 for an empty matrix.
+pub fn max_abs(a: &Matrix) -> f32 {
+    a.as_slice()
+        .par_iter()
+        .map(|x| x.abs())
+        .reduce(|| 0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_sums_per_row() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        assert_eq!(row_sums(&a), vec![6.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        let a = Matrix::from_vec(2, 3, vec![5.0, 5.0, 1.0, 0.0, 2.0, 2.0]);
+        assert_eq!(row_argmax(&a), vec![0, 1]);
+    }
+
+    #[test]
+    fn accuracy_counts_masked_rows_only() {
+        let logits = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        let labels = [0usize, 1, 1];
+        assert!((masked_accuracy(&logits, &labels, &[]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(masked_accuracy(&logits, &labels, &[0, 1]), 1.0);
+        assert_eq!(masked_accuracy(&logits, &labels, &[2]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max_abs() {
+        let a = Matrix::from_vec(1, 4, vec![-4.0, 1.0, 1.0, 2.0]);
+        assert_eq!(mean(&a), 0.0);
+        assert_eq!(max_abs(&a), 4.0);
+        assert_eq!(mean(&Matrix::zeros(0, 3)), 0.0);
+    }
+}

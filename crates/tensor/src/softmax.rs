@@ -1,0 +1,91 @@
+//! Numerically-stable row softmax and log-softmax.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Row-wise softmax with the max-subtraction trick, so large logits do
+/// not overflow `exp`.
+pub fn softmax_rows(a: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place variant of [`softmax_rows`].
+pub fn softmax_rows_inplace(a: &mut Matrix) {
+    let cols = a.cols();
+    if cols == 0 {
+        return;
+    }
+    a.as_mut_slice().par_chunks_mut(cols).for_each(|row| {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - m).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        row.iter_mut().for_each(|x| *x *= inv);
+    });
+}
+
+/// Row-wise log-softmax (stable: `x - m - ln Σ exp(x - m)`).
+pub fn log_softmax_rows(a: &Matrix) -> Matrix {
+    let cols = a.cols();
+    let mut out = a.clone();
+    if cols == 0 {
+        return out;
+    }
+    out.as_mut_slice().par_chunks_mut(cols).for_each(|row| {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln() + m;
+        row.iter_mut().for_each(|x| *x -= lse);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&a);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn stable_under_large_logits() {
+        let a = Matrix::from_vec(1, 2, vec![1000.0, 1001.0]);
+        let s = softmax_rows(&a);
+        assert!(s.as_slice().iter().all(|x| x.is_finite()));
+        assert!(s[(0, 1)] > s[(0, 0)]);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        assert!(softmax_rows(&a).approx_eq(&softmax_rows(&b), 1e-5));
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let a = Matrix::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.0]);
+        let s = softmax_rows(&a);
+        let ls = log_softmax_rows(&a);
+        for c in 0..4 {
+            assert!((ls[(0, c)] - s[(0, c)].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_noop() {
+        let a = Matrix::zeros(3, 0);
+        assert_eq!(softmax_rows(&a).shape(), (3, 0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the tensor substrate.
+
+use distgnn_tensor::{matmul, matmul_a_bt, matmul_at_b, softmax, Matrix};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut s = 0.0;
+            for p in 0..a.cols() {
+                s += a[(i, p)] * b[(p, j)];
+            }
+            c[(i, j)] = s;
+        }
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in small_matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_agrees_with_naive(
+        dims in (1usize..10, 1usize..10, 1usize..10),
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = dims;
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3 + seed as usize) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 2 + seed as usize) % 13) as f32 - 6.0);
+        prop_assert!(matmul(&a, &b).approx_eq(&naive_matmul(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn transposed_forms_agree_with_explicit_transpose(
+        dims in (1usize..8, 1usize..8, 1usize..8),
+    ) {
+        let (m, k, n) = dims;
+        let a = Matrix::from_fn(m, k, |i, j| (i as f32) - (j as f32) * 0.5);
+        let b = Matrix::from_fn(m, n, |i, j| (j as f32) * 0.25 - (i as f32));
+        let atb = matmul_at_b(&a, &b);
+        prop_assert!(atb.approx_eq(&naive_matmul(&a.transpose(), &b), 1e-3));
+
+        let c = Matrix::from_fn(n, k, |i, j| ((i + 2 * j) % 5) as f32);
+        let abt = matmul_a_bt(&a, &c);
+        prop_assert!(abt.approx_eq(&naive_matmul(&a, &c.transpose()), 1e-3));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(m in small_matrix(8)) {
+        // (A + A) * I == 2 * (A * I)
+        let i = Matrix::identity(m.cols());
+        let mut a2 = m.clone();
+        distgnn_tensor::ops::add_assign(&mut a2, &m);
+        let lhs = matmul(&a2, &i);
+        let mut rhs = matmul(&m, &i);
+        distgnn_tensor::ops::scale(&mut rhs, 2.0);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in small_matrix(10)) {
+        let s = softmax::softmax_rows(&m);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn gather_rows_preserves_content(m in small_matrix(10), perm_seed in 0usize..100) {
+        let idx: Vec<usize> = (0..m.rows()).map(|i| (i + perm_seed) % m.rows()).collect();
+        let g = m.gather_rows(&idx);
+        for (dst, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(dst), m.row(src));
+        }
+    }
+}
+
+mod half_props {
+    use distgnn_tensor::half::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn bf16_round_trip_relative_error_bounded(x in -1e30f32..1e30) {
+            let y = bf16_to_f32(f32_to_bf16(x));
+            let err = if x == 0.0 { y.abs() } else { ((y - x) / x).abs() };
+            // bf16 keeps 8 mantissa bits: rel err < 2^-8.
+            prop_assert!(err <= 1.0 / 256.0 + 1e-9, "{x} -> {y} err {err}");
+        }
+
+        #[test]
+        fn f16_round_trip_relative_error_bounded(x in -60000.0f32..60000.0) {
+            let y = f16_to_f32(f32_to_f16(x));
+            if x.abs() >= 6.2e-5 {
+                // Normal range: 10 mantissa bits.
+                let err = ((y - x) / x).abs();
+                prop_assert!(err <= 1.0 / 1024.0 + 1e-9, "{x} -> {y} err {err}");
+            } else {
+                // Subnormal range: absolute error bounded by one ulp.
+                prop_assert!((y - x).abs() <= 6.0e-8, "{x} -> {y}");
+            }
+        }
+
+        #[test]
+        fn bf16_preserves_ordering(a in -1e20f32..1e20, b in -1e20f32..1e20) {
+            // Monotone conversion: a <= b implies decode(enc(a)) <= decode(enc(b)).
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bf16_to_f32(f32_to_bf16(lo)) <= bf16_to_f32(f32_to_bf16(hi)));
+        }
+
+        #[test]
+        fn pack_unpack_identity_for_representable_values(
+            vals in proptest::collection::vec(-100i32..100, 0..40),
+        ) {
+            // Small integers are exactly representable in both formats.
+            let src: Vec<f32> = vals.iter().map(|&v| v as f32).collect();
+            let b = unpack_half(&pack_half(&src, f32_to_bf16), src.len(), bf16_to_f32);
+            let h = unpack_half(&pack_half(&src, f32_to_f16), src.len(), f16_to_f32);
+            prop_assert_eq!(&b, &src);
+            prop_assert_eq!(&h, &src);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Distributed full-batch training with the three DistGNN algorithms.
+//!
+//! Partitions a Proteins-like clustered graph with Libra vertex-cut and
+//! trains GraphSAGE on a simulated 4-socket cluster under `0c`
+//! (communication-avoiding), `cd-0` (synchronous clone sync) and
+//! `cd-5` (delayed partial aggregates), then compares accuracy, epoch
+//! time and communication volume.
+//!
+//! Run with: `cargo run --release --example distributed_training`
+
+use distgnn_suite::core::{DistConfig, DistMode, DistTrainer};
+use distgnn_suite::graph::{Dataset, ScaledConfig};
+
+fn main() {
+    let dataset = Dataset::generate(&ScaledConfig::proteins_s().scaled_by(0.25));
+    println!(
+        "dataset {}: {} vertices, {} edges",
+        dataset.name,
+        dataset.num_vertices(),
+        dataset.graph.num_edges()
+    );
+
+    let sockets = 4;
+    let epochs = 40;
+    println!("\n{sockets} simulated sockets, {epochs} epochs, delay r = 5 for cd-r\n");
+    println!(
+        "{:>6} | {:>9} | {:>12} | {:>12} | {:>14}",
+        "mode", "test acc", "epoch (ms)", "LAT (ms)", "sent (MiB)"
+    );
+    println!("{}", "-".repeat(66));
+
+    for mode in [DistMode::Cd0, DistMode::CdR { delay: 5 }, DistMode::Oc] {
+        let config = DistConfig::new(&dataset, mode, sockets, epochs);
+        let report = DistTrainer::run(&dataset, &config);
+        let sent: u64 = report.per_rank_comm.iter().map(|s| s.bytes_sent).sum();
+        println!(
+            "{:>6} | {:>8.2}% | {:>12.2} | {:>12.2} | {:>14.2}",
+            mode.name(),
+            report.test_accuracy * 100.0,
+            report.mean_epoch_time(mode).as_secs_f64() * 1e3,
+            report.mean_lat().as_secs_f64() * 1e3,
+            sent as f64 / (1024.0 * 1024.0),
+        );
+        // The replicas must agree after every epoch (AllReduce sync).
+        assert!(report.final_params.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    println!();
+    println!("Expected: cd-0 sends the most and is slowest per epoch; 0c sends only");
+    println!("gradients; cd-5 sits between, with accuracy within ~1% of cd-0.");
+}

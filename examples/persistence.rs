@@ -1,0 +1,68 @@
+//! Persistence workflow: generate once, partition once, train, stop,
+//! resume from a checkpoint — the operational loop a production
+//! deployment of DistGNN runs (Dist-DGL ships the same
+//! partition/load-partition split).
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use distgnn_suite::core::single::{Trainer, TrainerConfig};
+use distgnn_suite::core::{DistConfig, DistMode, DistTrainer};
+use distgnn_suite::graph::{Dataset, ScaledConfig};
+use distgnn_suite::io;
+use distgnn_suite::kernels::AggregationConfig;
+use distgnn_suite::partition::{libra_partition, PartitionedGraph};
+
+fn main() {
+    let work = std::env::temp_dir().join("distgnn-persistence-example");
+    std::fs::create_dir_all(&work).unwrap();
+
+    // 1. Generate and persist the dataset.
+    let dataset = Dataset::generate(&ScaledConfig::am_s());
+    io::save_dataset(&work.join("dataset"), &dataset).unwrap();
+    println!("saved dataset to {:?}", work.join("dataset"));
+
+    // 2. Partition once, persist the edge assignment.
+    let edges = dataset.graph.to_edge_list();
+    let partitioning = libra_partition(&edges, 4);
+    io::save_partitioning(&work.join("libra-4.part"), &partitioning).unwrap();
+    println!("saved 4-way Libra partitioning");
+
+    // 3. A later process: load everything back and train distributed,
+    //    reusing the stored partitioning (no re-partitioning cost).
+    let loaded = io::load_dataset(&work.join("dataset")).unwrap();
+    let loaded_part =
+        io::load_partitioning(&work.join("libra-4.part"), &loaded.graph.to_edge_list()).unwrap();
+    let pg = PartitionedGraph::build(&loaded.graph.to_edge_list(), &loaded_part, 0xD157);
+    let cfg = DistConfig::new(&loaded, DistMode::CdR { delay: 5 }, 4, 30);
+    let report = DistTrainer::run_on(&loaded, &pg, &cfg);
+    println!(
+        "distributed run from disk: test accuracy {:.2}%",
+        report.test_accuracy * 100.0
+    );
+
+    // 4. Single-socket training with checkpointing mid-run.
+    let tcfg = TrainerConfig::for_dataset(&loaded, AggregationConfig::optimized(2), 15);
+    let mut trainer = Trainer::new(&loaded, &tcfg);
+    for _ in 0..15 {
+        trainer.train_epoch();
+    }
+    io::save_params(&work.join("model.ckpt"), &trainer.model).unwrap();
+    let acc_at_ckpt = trainer.evaluate();
+    println!("checkpoint written at accuracy {:.2}%", acc_at_ckpt * 100.0);
+
+    // 5. Resume in a fresh trainer: accuracy carries over exactly.
+    let mut resumed = Trainer::new(&loaded, &tcfg);
+    io::load_params(&work.join("model.ckpt"), &mut resumed.model).unwrap();
+    let acc_resumed = resumed.evaluate();
+    println!("resumed accuracy {:.2}%", acc_resumed * 100.0);
+    assert_eq!(acc_at_ckpt, acc_resumed, "checkpoint round trip must be exact");
+
+    for _ in 0..15 {
+        resumed.train_epoch();
+    }
+    println!(
+        "after 15 more epochs: {:.2}%",
+        resumed.evaluate() * 100.0
+    );
+    std::fs::remove_dir_all(&work).ok();
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the DistGNN reproduction.
+//!
+//! Re-exports the public API of every workspace crate so the examples
+//! and integration tests can reach the whole system through one path.
+
+pub use distgnn_cachesim as cachesim;
+pub use distgnn_comm as comm;
+pub use distgnn_core as core;
+pub use distgnn_graph as graph;
+pub use distgnn_io as io;
+pub use distgnn_kernels as kernels;
+pub use distgnn_nn as nn;
+pub use distgnn_partition as partition;
+pub use distgnn_tensor as tensor;

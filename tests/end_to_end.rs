@@ -1,0 +1,100 @@
+//! End-to-end integration tests: full training pipelines across every
+//! crate, plus whole-pipeline determinism.
+
+use distgnn_suite::core::single::{Trainer, TrainerConfig};
+use distgnn_suite::core::{DistConfig, DistMode, DistTrainer};
+use distgnn_suite::graph::{Dataset, ScaledConfig};
+use distgnn_suite::kernels::AggregationConfig;
+
+fn tiny() -> Dataset {
+    Dataset::generate(&ScaledConfig::am_s().scaled_by(0.3))
+}
+
+#[test]
+fn single_socket_pipeline_trains_to_high_accuracy() {
+    let ds = tiny();
+    let cfg = TrainerConfig::for_dataset(&ds, AggregationConfig::optimized(2), 60);
+    let report = Trainer::run(&ds, &cfg);
+    assert!(
+        report.test_accuracy > 0.85,
+        "accuracy {}",
+        report.test_accuracy
+    );
+    // Loss monotone-ish: final well below initial.
+    assert!(report.epochs.last().unwrap().loss < report.epochs[0].loss * 0.3);
+}
+
+#[test]
+fn distributed_modes_stay_near_single_socket_accuracy() {
+    // The Table 5 claim at reproduction scale. The paper trains 200-300
+    // epochs and stays within ~1%; at 1/100th the graph size the split
+    // fraction per vertex is far higher, so the tolerance is wider and
+    // the epoch count longer (the paper's own remedy for 8/16 sockets).
+    let ds = Dataset::generate(&ScaledConfig::am_s());
+    let epochs = 100;
+    let single_cfg = TrainerConfig::for_dataset(&ds, AggregationConfig::optimized(2), epochs);
+    let single = Trainer::run(&ds, &single_cfg);
+    // Tolerances follow the paper's accuracy ordering: cd-0 sees
+    // complete neighbourhoods (tightest), cd-5 works from stale ones,
+    // and 0c permanently drops remote neighbourhoods — at 1/100th the
+    // paper's graph size the split fraction per vertex is much higher,
+    // so 0c's gap is proportionally wider than the paper's <1%.
+    for (mode, tol) in [
+        (DistMode::Cd0, 0.03),
+        (DistMode::CdR { delay: 5 }, 0.06),
+        (DistMode::Oc, 0.12),
+    ] {
+        let cfg = DistConfig::new(&ds, mode, 4, epochs);
+        let r = DistTrainer::run(&ds, &cfg);
+        assert!(
+            (r.test_accuracy - single.test_accuracy).abs() < tol,
+            "{}: {} vs single {}",
+            mode.name(),
+            r.test_accuracy,
+            single.test_accuracy
+        );
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let ds1 = tiny();
+    let ds2 = tiny();
+    assert_eq!(ds1.graph, ds2.graph);
+    let cfg = DistConfig::new(&ds1, DistMode::Cd0, 3, 5);
+    let a = DistTrainer::run(&ds1, &cfg);
+    let b = DistTrainer::run(&ds2, &cfg);
+    assert_eq!(a.final_params[0], b.final_params[0]);
+    for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(ea.loss, eb.loss);
+    }
+}
+
+#[test]
+fn communication_ordering_cd0_gt_cdr_gt_oc() {
+    // Per-epoch clone traffic: cd-0 moves all split vertices every
+    // epoch; cd-5 one bin per epoch; 0c none (gradients only).
+    let ds = Dataset::generate(&ScaledConfig::products_s().scaled_by(0.1));
+    let epochs = 12;
+    let sent = |mode| {
+        let cfg = DistConfig::new(&ds, mode, 4, epochs);
+        let r = DistTrainer::run(&ds, &cfg);
+        r.per_rank_comm.iter().map(|s| s.bytes_sent).sum::<u64>()
+    };
+    let cd0 = sent(DistMode::Cd0);
+    let cd5 = sent(DistMode::CdR { delay: 5 });
+    let oc = sent(DistMode::Oc);
+    assert!(cd0 > cd5, "cd-0 {cd0} should exceed cd-5 {cd5}");
+    assert!(cd5 > oc, "cd-5 {cd5} should exceed 0c {oc}");
+}
+
+#[test]
+fn partition_count_does_not_break_training() {
+    let ds = tiny();
+    for k in [1usize, 2, 3, 5, 8] {
+        let cfg = DistConfig::new(&ds, DistMode::Cd0, k, 3);
+        let r = DistTrainer::run(&ds, &cfg);
+        assert_eq!(r.epochs.len(), 3, "k = {k}");
+        assert!(r.epochs.iter().all(|e| e.loss.is_finite()), "k = {k}");
+    }
+}
