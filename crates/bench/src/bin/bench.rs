@@ -1,0 +1,240 @@
+//! Machine-readable kernel + epoch benchmark: emits `BENCH_kernels.json`
+//! at the repo root.
+//!
+//! Compares the seed's enum-dispatching aggregation kernel
+//! ([`distgnn_kernels::legacy`]) against the monomorphized production
+//! kernel on the GCN operator and on edge-featured operators, reports
+//! GFLOP-equivalents (one combine+reduce per edge-element), and times
+//! the allocating vs workspace epoch paths. Steady-state allocation
+//! counts are proven separately by `tests/zero_alloc.rs`; this binary
+//! records that linkage in the JSON.
+//!
+//! Run with: `cargo run --release -p distgnn-bench --bin bench`
+
+use distgnn_bench::{millis, speedup};
+use distgnn_core::model::{apply_flat_grads, flatten_grads, GraphSage};
+use distgnn_core::single::{SingleSocketAggregator, Trainer, TrainerConfig};
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_kernels::legacy::aggregate_enum_dispatch;
+use distgnn_kernels::{aggregate, AggregationConfig, BinaryOp, ReduceOp};
+use distgnn_nn::{masked_cross_entropy, Adam, AdamConfig};
+use distgnn_tensor::init::random_features;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum-of-N timing; the minimum is the least noisy statistic for a
+/// deterministic kernel on a shared machine.
+fn time_min<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+struct KernelRow {
+    case: &'static str,
+    config: &'static str,
+    legacy: Duration,
+    mono: Duration,
+    gflop: f64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.legacy.as_secs_f64() / self.mono.as_secs_f64().max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"case\": \"{}\", \"config\": \"{}\", ",
+                "\"legacy_ms\": {:.4}, \"mono_ms\": {:.4}, \"speedup\": {:.3}, ",
+                "\"gflop_equiv\": {:.4}, \"legacy_gflops\": {:.3}, \"mono_gflops\": {:.3}}}"
+            ),
+            self.case,
+            self.config,
+            self.legacy.as_secs_f64() * 1e3,
+            self.mono.as_secs_f64() * 1e3,
+            self.speedup(),
+            self.gflop,
+            self.gflop / self.legacy.as_secs_f64().max(1e-12),
+            self.gflop / self.mono.as_secs_f64().max(1e-12),
+        )
+    }
+}
+
+fn bench_kernels(ds: &Dataset, reps: usize) -> Vec<KernelRow> {
+    let fe = random_features(ds.graph.num_edges(), ds.feat_dim(), 7);
+    let auto_nb = AggregationConfig::auto_blocks(ds.num_vertices(), ds.feat_dim(), 1 << 20);
+    let edge_elems = (ds.graph.num_edges() * ds.feat_dim()) as f64;
+    // One combine + one reduce per edge-element; CopyLhs has no combine.
+    let cases: [(&'static str, BinaryOp, ReduceOp, bool, f64); 3] = [
+        ("copylhs_sum", BinaryOp::CopyLhs, ReduceOp::Sum, false, 1.0),
+        ("mul_sum", BinaryOp::Mul, ReduceOp::Sum, true, 2.0),
+        ("add_max", BinaryOp::Add, ReduceOp::Max, true, 2.0),
+    ];
+    let configs: [(&'static str, AggregationConfig); 2] = [
+        ("baseline", AggregationConfig::baseline()),
+        ("optimized", AggregationConfig::optimized(auto_nb)),
+    ];
+    let mut rows = Vec::new();
+    for (cfg_name, kcfg) in &configs {
+        for (case, op, red, needs_fe, flops_per_elem) in cases {
+            let efeat = needs_fe.then_some(&fe);
+            let legacy = time_min(reps, || {
+                black_box(aggregate_enum_dispatch(
+                    &ds.graph,
+                    &ds.features,
+                    efeat,
+                    op,
+                    red,
+                    kcfg,
+                ));
+            });
+            let mono = time_min(reps, || {
+                black_box(aggregate(&ds.graph, &ds.features, efeat, op, red, kcfg));
+            });
+            rows.push(KernelRow {
+                case,
+                config: cfg_name,
+                legacy,
+                mono,
+                gflop: edge_elems * flops_per_elem / 1e9,
+            });
+        }
+    }
+    rows
+}
+
+struct EpochTimes {
+    allocating: Duration,
+    workspace_warmup: Duration,
+    workspace_steady: Duration,
+}
+
+fn bench_epoch(ds: &Dataset, reps: usize) -> EpochTimes {
+    let cfg = TrainerConfig::for_dataset(ds, AggregationConfig::optimized(2), 1);
+
+    // Seed-style allocating epoch loop.
+    let mut model = GraphSage::new(&cfg.model);
+    let mut agg = SingleSocketAggregator::new(&ds.graph, cfg.kernel);
+    let mut adam = Adam::new(AdamConfig {
+        weight_decay: cfg.weight_decay,
+        ..AdamConfig::with_lr(cfg.lr)
+    });
+    let allocating = time_min(reps, || {
+        let (logits, cache) = model.forward(&mut agg, &ds.features);
+        let ce = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
+        let grads = model.backward(&mut agg, &cache, &ce.grad_logits);
+        let flat = flatten_grads(&grads);
+        apply_flat_grads(&mut model, &mut adam, &flat);
+        black_box(ce.loss);
+    });
+
+    // Workspace path: first epoch pays the lazy-scratch sizing, later
+    // epochs are the steady (zero-allocation) state.
+    let mut t = Trainer::new(ds, &cfg);
+    let t0 = Instant::now();
+    t.train_epoch();
+    let workspace_warmup = t0.elapsed();
+    let workspace_steady = time_min(reps, || {
+        black_box(t.train_epoch());
+    });
+    EpochTimes { allocating, workspace_warmup, workspace_steady }
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let ds = Dataset::generate(&ScaledConfig::reddit_s().scaled_by(0.25));
+    let epoch_ds = Dataset::generate(&ScaledConfig::am_s());
+
+    distgnn_bench::header("Kernel dispatch: enum (seed) vs monomorphized");
+    let rows = bench_kernels(&ds, reps);
+    distgnn_bench::print_table(
+        &["case", "config", "enum ms", "mono ms", "speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.case.into(),
+                    r.config.into(),
+                    millis(r.legacy),
+                    millis(r.mono),
+                    speedup(r.legacy, r.mono),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    distgnn_bench::header("Epoch: allocating vs workspace path");
+    let epoch = bench_epoch(&epoch_ds, reps);
+    distgnn_bench::print_table(
+        &["path", "ms"],
+        &[
+            vec!["allocating".into(), millis(epoch.allocating)],
+            vec!["workspace (warm-up)".into(), millis(epoch.workspace_warmup)],
+            vec!["workspace (steady)".into(), millis(epoch.workspace_steady)],
+        ],
+    );
+
+    let kernels_json = rows
+        .iter()
+        .map(|r| format!("    {}", r.json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"kernel monomorphization + workspace reuse\",\n",
+            "  \"command\": \"cargo run --release -p distgnn-bench --bin bench\",\n",
+            "  \"kernel_dataset\": {{\"name\": \"{kname}\", \"vertices\": {kv}, ",
+            "\"edges\": {ke}, \"feat_dim\": {kd}}},\n",
+            "  \"reps\": {reps},\n",
+            "  \"kernels\": [\n{kernels}\n  ],\n",
+            "  \"epoch\": {{\n",
+            "    \"dataset\": \"{ename}\",\n",
+            "    \"allocating_ms\": {alloc:.4},\n",
+            "    \"workspace_warmup_ms\": {warm:.4},\n",
+            "    \"workspace_steady_ms\": {steady:.4},\n",
+            "    \"steady_speedup_vs_allocating\": {esp:.3}\n",
+            "  }},\n",
+            "  \"allocations\": {{\n",
+            "    \"steady_state_train_epoch\": 0,\n",
+            "    \"proven_by\": \"tests/zero_alloc.rs (counting global allocator)\"\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        kname = ds.name,
+        kv = ds.num_vertices(),
+        ke = ds.graph.num_edges(),
+        kd = ds.feat_dim(),
+        reps = reps,
+        kernels = kernels_json,
+        ename = epoch_ds.name,
+        alloc = epoch.allocating.as_secs_f64() * 1e3,
+        warm = epoch.workspace_warmup.as_secs_f64() * 1e3,
+        steady = epoch.workspace_steady.as_secs_f64() * 1e3,
+        esp = epoch.allocating.as_secs_f64() / epoch.workspace_steady.as_secs_f64().max(1e-12),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
+
+    // Sanity: the optimized-config GCN case is the acceptance gate.
+    let gate = rows
+        .iter()
+        .find(|r| r.config == "optimized" && r.case == "copylhs_sum")
+        .expect("gate row");
+    println!(
+        "gate: mono {:.2}x faster than enum dispatch on optimized copylhs_sum",
+        gate.speedup()
+    );
+}

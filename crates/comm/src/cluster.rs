@@ -5,16 +5,21 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Barrier;
 
+/// One in-flight AlltoAll payload slot.
+type XchgSlot = Mutex<Option<Vec<f32>>>;
+/// One rank's tagged mailbox: tag -> payload.
+type Mailbox = Mutex<HashMap<u64, Vec<f32>>>;
+
 /// Shared state of one cluster run.
 struct Shared {
     size: usize,
     barrier: Barrier,
     /// AlltoAll staging: `xchg[src][dst]` holds the in-flight payload.
-    xchg: Vec<Vec<Mutex<Option<Vec<f32>>>>>,
+    xchg: Vec<Vec<XchgSlot>>,
     /// AllReduce staging: one contribution slot per rank.
     reduce: Vec<Mutex<Vec<f32>>>,
-    /// Tagged async mailboxes: `tagged[src][dst]` maps tag -> payload.
-    tagged: Vec<Vec<Mutex<HashMap<u64, Vec<f32>>>>>,
+    /// Tagged async mailboxes, `tagged[src][dst]`.
+    tagged: Vec<Vec<Mailbox>>,
     stats: Vec<CommStats>,
 }
 

@@ -11,7 +11,7 @@
 //! once and — for `cd-0` — match the single-socket quantities.
 
 use crate::drpa::RankAggregator;
-use crate::model::{apply_flat_grads, flatten_grads, GraphSage, SageConfig};
+use crate::model::{apply_flat_grads, GraphSage, SageConfig, SageWorkspace};
 use distgnn_comm::stats::CommSnapshot;
 use distgnn_comm::Cluster;
 use distgnn_graph::Dataset;
@@ -225,23 +225,33 @@ impl DistTrainer {
                     .with_wire_precision(config.wire_precision);
             let mut epochs = Vec::with_capacity(config.epochs);
 
+            // Per-rank epoch buffers, reused across epochs.
+            let n_local = data.features.rows();
+            let mut ws = SageWorkspace::new(&model, n_local);
+            let mut probs = Matrix::zeros(n_local, config.model.num_classes);
+            let mut flat = Vec::new();
+
             for e in 0..config.epochs {
                 let t0 = Instant::now();
                 agg.set_epoch(e as u64);
                 agg.take_times();
-                let (logits, cache) = model.forward(&mut agg, &data.features);
+                model.forward_into(&mut agg, &data.features, &mut ws);
 
-                // Clone-weighted loss over local train vertices.
-                let (loss_contrib, grad_logits) = weighted_cross_entropy(
-                    &logits,
+                // Clone-weighted loss over local train vertices; the
+                // logits gradient lands in the final layer's `grad_z`.
+                let last = ws.layers.last_mut().expect("model has at least one layer");
+                let loss_contrib = weighted_cross_entropy_into(
+                    &last.z,
                     &data.labels,
                     &data.train_ids,
                     &data.train_weights,
                     global_train,
+                    &mut probs,
+                    &mut last.grad_z,
                 );
 
-                let grads = model.backward(&mut agg, &cache, &grad_logits);
-                let mut flat = flatten_grads(&grads);
+                model.backward_into(&mut agg, &mut ws);
+                ws.flatten_grads_into(&mut flat);
                 let mut loss_buf = [loss_contrib];
                 ctx.all_reduce_sum(&mut flat);
                 ctx.all_reduce_sum(&mut loss_buf);
@@ -259,7 +269,8 @@ impl DistTrainer {
 
             // Evaluation over owned test vertices.
             agg.set_epoch(config.epochs as u64);
-            let (logits, _) = model.forward(&mut agg, &data.features);
+            model.forward_into(&mut agg, &data.features, &mut ws);
+            let logits = ws.logits();
             let correct = data
                 .test_ids
                 .iter()
@@ -307,15 +318,20 @@ impl DistTrainer {
 /// the *global* training-vertex count so that summing the per-rank
 /// losses/gradients over the cluster reproduces the single-socket
 /// quantities (each global vertex's clone weights sum to 1).
-fn weighted_cross_entropy(
+///
+/// Writes into caller-owned `probs`/`grad` buffers (shape of `logits`);
+/// allocation-free so the epoch loop can reuse them.
+fn weighted_cross_entropy_into(
     logits: &Matrix,
     labels: &[usize],
     ids: &[usize],
     weights: &[f32],
     global_norm: f32,
-) -> (f32, Matrix) {
-    let probs = distgnn_tensor::softmax::softmax_rows(logits);
-    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    probs: &mut Matrix,
+    grad: &mut Matrix,
+) -> f32 {
+    distgnn_tensor::softmax::softmax_rows_into(logits, probs);
+    grad.fill_zero();
     let mut loss = 0.0f32;
     for (&v, &w) in ids.iter().zip(weights) {
         let label = labels[v];
@@ -327,7 +343,7 @@ fn weighted_cross_entropy(
             *g = (pj - f32::from(j == label)) * scale;
         }
     }
-    (loss / global_norm, grad)
+    loss / global_norm
 }
 
 fn prepare_rank_data(dataset: &Dataset, pg: &PartitionedGraph) -> Vec<RankData> {

@@ -30,5 +30,5 @@ pub mod variants;
 pub mod workmodel;
 
 pub use dist::{DistConfig, DistEpochReport, DistMode, DistTrainer};
-pub use model::{Aggregator, GraphSage, SageConfig};
+pub use model::{Aggregator, GraphSage, LayerWorkspace, SageConfig, SageWorkspace};
 pub use single::{SingleSocketAggregator, Trainer, TrainerConfig};

@@ -23,6 +23,19 @@ pub trait Aggregator {
     fn forward(&mut self, layer: usize, h: &Matrix) -> Matrix;
     /// Gradient of [`Aggregator::forward`] with respect to `h`.
     fn backward(&mut self, layer: usize, grad_out: &Matrix) -> Matrix;
+
+    /// [`Aggregator::forward`] into a caller-owned buffer. The default
+    /// falls back to the allocating form; implementations on the hot
+    /// path override it to be allocation-free.
+    fn forward_into(&mut self, layer: usize, h: &Matrix, out: &mut Matrix) {
+        *out = self.forward(layer, h);
+    }
+
+    /// [`Aggregator::backward`] into a caller-owned buffer; same
+    /// contract as [`Aggregator::forward_into`].
+    fn backward_into(&mut self, layer: usize, grad_out: &Matrix, out: &mut Matrix) {
+        *out = self.backward(layer, grad_out);
+    }
 }
 
 /// Model shape.
@@ -69,6 +82,82 @@ pub struct SageCache {
     pub pre_activations: Vec<Matrix>,
 }
 
+/// Every buffer one layer's forward + backward passes touch. Shapes
+/// are fixed by the model config and vertex count, so one workspace
+/// built up front serves every epoch: [`GraphSage::forward_into`] /
+/// [`GraphSage::backward_into`] write into these matrices instead of
+/// allocating.
+#[derive(Clone, Debug)]
+pub struct LayerWorkspace {
+    /// Aggregation output = linear input, `n x in_dim` (the cache the
+    /// backward pass reads).
+    pub agg: Matrix,
+    /// Pre-activation `z`, `n x out_dim` (for the final layer these are
+    /// the logits).
+    pub z: Matrix,
+    /// Post-ReLU activation, `n x out_dim` (unused by the final layer).
+    pub act: Matrix,
+    /// Gradient w.r.t. `z`, `n x out_dim`. For the final layer the loss
+    /// writes the logits gradient here before `backward_into` runs.
+    pub grad_z: Matrix,
+    /// Gradient w.r.t. the layer's input activations (after the
+    /// aggregation backward), `n x in_dim`.
+    pub grad_h: Matrix,
+    /// Reusable parameter/input gradients.
+    pub grads: LinearGrads,
+    /// Scratch for the `Aᵀ·B` weight-gradient partials.
+    pub at_b_scratch: Vec<f32>,
+}
+
+/// Per-layer workspaces for one model replica over `n` vertices.
+#[derive(Clone, Debug)]
+pub struct SageWorkspace {
+    pub layers: Vec<LayerWorkspace>,
+}
+
+impl SageWorkspace {
+    /// Builds all buffers for `model` applied to `num_vertices` rows.
+    /// This is the only place the epoch loop's matrices are allocated.
+    pub fn new(model: &GraphSage, num_vertices: usize) -> Self {
+        let layers = model
+            .layers
+            .iter()
+            .map(|layer| LayerWorkspace {
+                agg: Matrix::zeros(num_vertices, layer.in_dim()),
+                z: Matrix::zeros(num_vertices, layer.out_dim()),
+                act: Matrix::zeros(num_vertices, layer.out_dim()),
+                grad_z: Matrix::zeros(num_vertices, layer.out_dim()),
+                grad_h: Matrix::zeros(num_vertices, layer.in_dim()),
+                grads: LinearGrads::zeros_for(layer, num_vertices),
+                at_b_scratch: Vec::new(),
+            })
+            .collect();
+        SageWorkspace { layers }
+    }
+
+    /// The last forward pass's logits (the final layer's `z`).
+    pub fn logits(&self) -> &Matrix {
+        &self.layers.last().expect("workspace has no layers").z
+    }
+
+    /// The final layer's `grad_z` — where the loss writes the logits
+    /// gradient before [`GraphSage::backward_into`].
+    pub fn grad_logits_mut(&mut self) -> &mut Matrix {
+        &mut self.layers.last_mut().expect("workspace has no layers").grad_z
+    }
+
+    /// Serializes the per-layer gradients into `flat` (weights then
+    /// bias per layer, same order as [`flatten_grads`]). Reuses the
+    /// buffer's capacity, so steady-state calls do not allocate.
+    pub fn flatten_grads_into(&self, flat: &mut Vec<f32>) {
+        flat.clear();
+        for lw in &self.layers {
+            flat.extend_from_slice(lw.grads.grad_weight.as_slice());
+            flat.extend_from_slice(&lw.grads.grad_bias);
+        }
+    }
+}
+
 /// The GraphSAGE model: one [`Linear`] per layer.
 #[derive(Clone, Debug)]
 pub struct GraphSage {
@@ -110,6 +199,51 @@ impl GraphSage {
             cache.pre_activations.push(z);
         }
         (h, cache)
+    }
+
+    /// Full forward pass into `ws`'s buffers; the logits land in
+    /// [`SageWorkspace::logits`]. Steady-state allocation-free when the
+    /// aggregator's `_into` methods are (the workspace is reused as the
+    /// backward cache, replacing [`SageCache`]).
+    pub fn forward_into(
+        &self,
+        agg: &mut dyn Aggregator,
+        features: &Matrix,
+        ws: &mut SageWorkspace,
+    ) {
+        assert_eq!(features.rows(), agg.num_vertices(), "feature row count");
+        let num_layers = self.layers.len();
+        assert_eq!(ws.layers.len(), num_layers, "workspace layer count");
+        for l in 0..num_layers {
+            let (prev, rest) = ws.layers.split_at_mut(l);
+            let lw = &mut rest[0];
+            let h: &Matrix = if l == 0 { features } else { &prev[l - 1].act };
+            agg.forward_into(l, h, &mut lw.agg);
+            self.layers[l].forward_into(&lw.agg, &mut lw.z);
+            if l + 1 < num_layers {
+                ops::relu_into(&lw.z, &mut lw.act);
+            }
+        }
+    }
+
+    /// Full backward pass into `ws`'s gradient buffers. Expects the
+    /// logits gradient in [`SageWorkspace::grad_logits_mut`] (written
+    /// there by the loss); leaves each layer's parameter gradients in
+    /// `ws.layers[l].grads`.
+    pub fn backward_into(&self, agg: &mut dyn Aggregator, ws: &mut SageWorkspace) {
+        let num_layers = self.layers.len();
+        assert_eq!(ws.layers.len(), num_layers, "workspace layer count");
+        for l in (0..num_layers).rev() {
+            let (prev, rest) = ws.layers.split_at_mut(l);
+            let LayerWorkspace { agg: agg_out, grad_z, grad_h, grads, at_b_scratch, .. } =
+                &mut rest[0];
+            self.layers[l].backward_into(agg_out, grad_z, grads, at_b_scratch);
+            agg.backward_into(l, &grads.grad_input, grad_h);
+            if l > 0 {
+                let pw = &mut prev[l - 1];
+                ops::relu_backward_into(grad_h, &pw.z, &mut pw.grad_z);
+            }
+        }
     }
 
     /// Full backward pass; returns per-layer gradients (same order as
@@ -285,6 +419,45 @@ mod tests {
             .collect();
         for (a, b) in grads[l_last].grad_bias.iter().zip(&fd_b) {
             assert!((a - b).abs() < 5e-2, "bias grad {a} vs fd {b}");
+        }
+    }
+
+    #[test]
+    fn workspace_passes_match_allocating_passes() {
+        let (g, f, labels, cfg) = small_setup();
+        let model = GraphSage::new(&cfg);
+        let mask: Vec<usize> = (0..24).collect();
+
+        // Allocating reference path.
+        let mut agg_a = SingleSocketAggregator::new(&g, AggregationConfig::optimized(2));
+        let (logits, cache) = model.forward(&mut agg_a, &f);
+        let ce = masked_cross_entropy(&logits, &labels, &mask);
+        let grads = model.backward(&mut agg_a, &cache, &ce.grad_logits);
+
+        // Workspace path, run twice to catch stale-buffer bugs.
+        let mut agg_b = SingleSocketAggregator::new(&g, AggregationConfig::optimized(2));
+        let mut ws = SageWorkspace::new(&model, 24);
+        let mut probs = Matrix::zeros(24, 3);
+        let mut flat = Vec::new();
+        for _ in 0..2 {
+            model.forward_into(&mut agg_b, &f, &mut ws);
+            assert_eq!(ws.logits(), &logits);
+            let last = ws.layers.last_mut().unwrap();
+            let loss = distgnn_nn::masked_cross_entropy_into(
+                &last.z,
+                &labels,
+                &mask,
+                &mut probs,
+                &mut last.grad_z,
+            );
+            assert!((loss - ce.loss).abs() < 1e-6);
+            model.backward_into(&mut agg_b, &mut ws);
+            for (lw, reference) in ws.layers.iter().zip(&grads) {
+                assert_eq!(lw.grads.grad_weight, reference.grad_weight);
+                assert_eq!(lw.grads.grad_bias, reference.grad_bias);
+            }
+            ws.flatten_grads_into(&mut flat);
+            assert_eq!(flat, flatten_grads(&grads));
         }
     }
 

@@ -1,10 +1,13 @@
 //! Single-socket (shared-memory) full-batch trainer — §4 / Fig. 2.
 
-use crate::model::{apply_flat_grads, flatten_grads, Aggregator, GraphSage, SageConfig};
+use crate::model::{apply_flat_grads, Aggregator, GraphSage, SageConfig, SageWorkspace};
 use distgnn_graph::{Csr, Dataset};
-use distgnn_kernels::gcn::{gcn_aggregate_backward_prepared, gcn_aggregate_prepared};
+use distgnn_kernels::gcn::{
+    gcn_aggregate_backward_prepared, gcn_aggregate_backward_prepared_into,
+    gcn_aggregate_prepared, gcn_aggregate_prepared_into,
+};
 use distgnn_kernels::{AggregationConfig, PreparedAggregation};
-use distgnn_nn::{masked_cross_entropy, Adam, AdamConfig};
+use distgnn_nn::{masked_cross_entropy_into, Adam, AdamConfig};
 use distgnn_tensor::{reduce, Matrix};
 use std::time::{Duration, Instant};
 
@@ -17,6 +20,9 @@ pub struct SingleSocketAggregator {
     prep_t: PreparedAggregation,
     degrees: Vec<f32>,
     agg_time: Duration,
+    /// Per-layer scaled-gradient scratch for the backward `_into` path,
+    /// sized lazily on first use and reused afterwards.
+    bwd_scratch: Vec<Matrix>,
 }
 
 impl SingleSocketAggregator {
@@ -26,6 +32,7 @@ impl SingleSocketAggregator {
             prep_t: PreparedAggregation::new(&graph.transpose(), config),
             degrees: graph.degrees_f32(),
             agg_time: Duration::ZERO,
+            bwd_scratch: Vec::new(),
         }
     }
 
@@ -52,6 +59,26 @@ impl Aggregator for SingleSocketAggregator {
         let g = gcn_aggregate_backward_prepared(&self.prep_t, grad_out, &self.degrees);
         self.agg_time += t0.elapsed();
         g
+    }
+
+    fn forward_into(&mut self, _layer: usize, h: &Matrix, out: &mut Matrix) {
+        let t0 = Instant::now();
+        gcn_aggregate_prepared_into(&self.prep, h, &self.degrees, out);
+        self.agg_time += t0.elapsed();
+    }
+
+    fn backward_into(&mut self, layer: usize, grad_out: &Matrix, out: &mut Matrix) {
+        let t0 = Instant::now();
+        if self.bwd_scratch.len() <= layer {
+            self.bwd_scratch.resize_with(layer + 1, || Matrix::zeros(0, 0));
+        }
+        let scaled = &mut self.bwd_scratch[layer];
+        if scaled.shape() != grad_out.shape() {
+            // First call for this layer only; steady state reuses it.
+            *scaled = Matrix::zeros(grad_out.rows(), grad_out.cols());
+        }
+        gcn_aggregate_backward_prepared_into(&self.prep_t, grad_out, &self.degrees, scaled, out);
+        self.agg_time += t0.elapsed();
     }
 }
 
@@ -113,6 +140,11 @@ impl TrainReport {
 }
 
 /// Single-socket full-batch trainer.
+///
+/// All per-epoch buffers ([`SageWorkspace`], softmax probabilities,
+/// flattened gradient) live on the trainer and are reused: after the
+/// first (warm-up) epoch, [`Trainer::train_epoch`] performs no heap
+/// allocation (proven by the repo's counting-allocator test).
 pub struct Trainer {
     pub model: GraphSage,
     agg: SingleSocketAggregator,
@@ -121,12 +153,19 @@ pub struct Trainer {
     labels: Vec<usize>,
     train_mask: Vec<usize>,
     test_mask: Vec<usize>,
+    ws: SageWorkspace,
+    probs: Matrix,
+    flat: Vec<f32>,
 }
 
 impl Trainer {
     pub fn new(dataset: &Dataset, config: &TrainerConfig) -> Self {
+        let model = GraphSage::new(&config.model);
+        let n = dataset.graph.num_vertices();
+        let ws = SageWorkspace::new(&model, n);
+        let probs = Matrix::zeros(n, config.model.num_classes);
         Trainer {
-            model: GraphSage::new(&config.model),
+            model,
             agg: SingleSocketAggregator::new(&dataset.graph, config.kernel),
             adam: Adam::new(AdamConfig {
                 weight_decay: config.weight_decay,
@@ -136,6 +175,9 @@ impl Trainer {
             labels: dataset.labels.clone(),
             train_mask: dataset.train_mask.clone(),
             test_mask: dataset.test_mask.clone(),
+            ws,
+            probs,
+            flat: Vec::new(),
         }
     }
 
@@ -143,14 +185,21 @@ impl Trainer {
     pub fn train_epoch(&mut self) -> EpochStats {
         let t0 = Instant::now();
         self.agg.take_agg_time();
-        let (logits, cache) = self.model.forward(&mut self.agg, &self.features);
-        let ce = masked_cross_entropy(&logits, &self.labels, &self.train_mask);
-        let grads = self.model.backward(&mut self.agg, &cache, &ce.grad_logits);
-        let flat = flatten_grads(&grads);
-        apply_flat_grads(&mut self.model, &mut self.adam, &flat);
+        self.model.forward_into(&mut self.agg, &self.features, &mut self.ws);
+        let last = self.ws.layers.last_mut().expect("model has at least one layer");
+        let loss = masked_cross_entropy_into(
+            &last.z,
+            &self.labels,
+            &self.train_mask,
+            &mut self.probs,
+            &mut last.grad_z,
+        );
+        self.model.backward_into(&mut self.agg, &mut self.ws);
+        self.ws.flatten_grads_into(&mut self.flat);
+        apply_flat_grads(&mut self.model, &mut self.adam, &self.flat);
         EpochStats {
-            loss: ce.loss,
-            train_accuracy: reduce::masked_accuracy(&logits, &self.labels, &self.train_mask),
+            loss,
+            train_accuracy: reduce::masked_accuracy(self.ws.logits(), &self.labels, &self.train_mask),
             epoch_time: t0.elapsed(),
             agg_time: self.agg.take_agg_time(),
         }
@@ -158,8 +207,8 @@ impl Trainer {
 
     /// Test-mask accuracy of the current model.
     pub fn evaluate(&mut self) -> f32 {
-        let (logits, _) = self.model.forward(&mut self.agg, &self.features);
-        reduce::masked_accuracy(&logits, &self.labels, &self.test_mask)
+        self.model.forward_into(&mut self.agg, &self.features, &mut self.ws);
+        reduce::masked_accuracy(self.ws.logits(), &self.labels, &self.test_mask)
     }
 
     /// Trains for `config.epochs` epochs and evaluates.

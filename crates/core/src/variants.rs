@@ -99,12 +99,12 @@ impl SymNormAggregator {
         let deg_out = graph_t.degrees_f32();
         // w_uv = 1 / sqrt((deg_out(u)+1)(deg_in(v)+1)), indexed by edge id.
         let mut edge_weights = vec![0.0f32; graph.num_edges()];
-        for v in 0..graph.num_vertices() {
+        for (v, &dv) in deg_in.iter().enumerate() {
             let nbrs = graph.neighbors(v as VertexId);
             let eids = graph.edge_ids(v as VertexId);
             for (&u, &e) in nbrs.iter().zip(eids) {
                 edge_weights[e as usize] =
-                    1.0 / ((deg_out[u as usize] + 1.0) * (deg_in[v] + 1.0)).sqrt();
+                    1.0 / ((deg_out[u as usize] + 1.0) * (dv + 1.0)).sqrt();
             }
         }
         let self_scale = deg_in.iter().map(|&dv| 1.0 / (dv + 1.0)).collect();

@@ -219,12 +219,12 @@ pub fn pagerank(graph: &Csr, damping: f64, iterations: usize) -> Vec<f64> {
     for _ in 0..iterations {
         let dangling: f64 = (0..n).filter(|&v| out_deg[v] == 0).map(|v| rank[v]).sum();
         let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
-        for v in 0..n {
+        for (v, nx) in next.iter_mut().enumerate() {
             let mut acc = 0.0;
             for &u in graph.neighbors(v as VertexId) {
                 acc += rank[u as usize] / out_deg[u as usize] as f64;
             }
-            next[v] = base + damping * acc;
+            *nx = base + damping * acc;
         }
         std::mem::swap(&mut rank, &mut next);
     }

@@ -46,7 +46,7 @@ impl SourceBlocks {
                 counts[i + 1] += counts[i];
             }
         }
-        let mut cursors: Vec<Vec<usize>> = row_counts.iter().map(|c| c.clone()).collect();
+        let mut cursors: Vec<Vec<usize>> = row_counts.to_vec();
         let mut indices: Vec<Vec<VertexId>> = row_counts
             .iter()
             .map(|c| vec![0 as VertexId; *c.last().unwrap()])
@@ -55,6 +55,7 @@ impl SourceBlocks {
             .iter()
             .map(|c| vec![0u32; *c.last().unwrap()])
             .collect();
+        #[allow(clippy::needless_range_loop)]
         for v in 0..n {
             let nbrs = graph.neighbors(v as VertexId);
             let eids = graph.edge_ids(v as VertexId);

@@ -233,7 +233,7 @@ pub fn planted_features(labels: &[usize], num_classes: usize, dim: usize, seed: 
     let _ = num_classes;
     for (v, &label) in labels.iter().enumerate() {
         let col = label % dim;
-        m[(v, col)] += 1.5 + rng.gen_range(-0.25..0.25);
+        m[(v, col)] += 1.5 + rng.gen_range(-0.25f32..0.25);
     }
     m
 }

@@ -1,5 +1,10 @@
 //! Alg. 1 — the DGL baseline aggregation primitive.
+//!
+//! The inner loop is monomorphized over `(Combine, Reduce)` via
+//! [`crate::mono::with_ops!`]: the enum pair is resolved once at the
+//! public entry point and the per-edge loop is branch-free.
 
+use crate::mono::{with_ops, Combine, Reduce};
 use crate::reference::{feature_dim, validate_inputs};
 use crate::schedule::for_each_destination;
 use crate::{BinaryOp, ReduceOp, Schedule};
@@ -25,8 +30,10 @@ pub fn aggregate_baseline(
     out
 }
 
-/// The shared per-destination inner loop, reused by the blocked kernel
-/// (which calls it once per block CSR).
+/// Enum front-end for the shared per-destination pass, reused by the
+/// blocked kernel (which calls it once per block CSR). Dispatches to
+/// the monomorphized kernel exactly once.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn aggregate_rows_into(
     graph: &Csr,
     features: &Matrix,
@@ -37,32 +44,53 @@ pub(crate) fn aggregate_rows_into(
     chunk_rows: usize,
     out: &mut Matrix,
 ) {
+    with_ops!(
+        op,
+        reduce,
+        rows_pass(graph, features, edge_features, schedule, chunk_rows, out)
+    );
+}
+
+/// The monomorphized destination-major pass: for each destination row,
+/// reduce every in-neighbour's (combined) feature vector in place.
+/// `C`/`R` are zero-sized, so the innermost loop carries no operator
+/// dispatch at all.
+pub(crate) fn rows_pass<C: Combine, R: Reduce>(
+    graph: &Csr,
+    features: &Matrix,
+    edge_features: Option<&Matrix>,
+    schedule: Schedule,
+    chunk_rows: usize,
+    out: &mut Matrix,
+) {
     let d = out.cols();
+    // Hoist the Option: when the combine never reads edge features the
+    // placeholder is never touched (the branch below is const-folded).
+    let fe = if C::USES_RHS {
+        edge_features.expect("validated: binary op requires edge features")
+    } else {
+        features
+    };
     for_each_destination(out.as_mut_slice(), d, schedule, chunk_rows, |v, out_row| {
         let nbrs = graph.neighbors(v as u32);
         let eids = graph.edge_ids(v as u32);
         for (k, &u) in nbrs.iter().enumerate() {
-            match (op, edge_features) {
-                (BinaryOp::CopyLhs, _) => {
-                    let src = features.row(u as usize);
-                    for (o, &s) in out_row.iter_mut().zip(src) {
-                        *o = reduce.apply(*o, s);
-                    }
+            if !C::USES_RHS {
+                let src = features.row(u as usize);
+                for (o, &s) in out_row.iter_mut().zip(src) {
+                    *o = R::apply(*o, s);
                 }
-                (BinaryOp::CopyRhs, Some(fe)) => {
-                    let e_row = fe.row(eids[k] as usize);
-                    for (o, &e) in out_row.iter_mut().zip(e_row) {
-                        *o = reduce.apply(*o, e);
-                    }
+            } else if !C::USES_LHS {
+                let e_row = fe.row(eids[k] as usize);
+                for (o, &e) in out_row.iter_mut().zip(e_row) {
+                    *o = R::apply(*o, e);
                 }
-                (_, Some(fe)) => {
-                    let src = features.row(u as usize);
-                    let e_row = fe.row(eids[k] as usize);
-                    for ((o, &s), &e) in out_row.iter_mut().zip(src).zip(e_row) {
-                        *o = reduce.apply(*o, op.apply(s, e));
-                    }
+            } else {
+                let src = features.row(u as usize);
+                let e_row = fe.row(eids[k] as usize);
+                for ((o, &s), &e) in out_row.iter_mut().zip(src).zip(e_row) {
+                    *o = R::apply(*o, C::apply(s, e));
                 }
-                (_, None) => unreachable!("validated: binary op requires edge features"),
             }
         }
     });

@@ -7,14 +7,16 @@
 //! vector read by thread `t` is likely still in cache when thread `t'`
 //! needs it).
 
-use crate::baseline::aggregate_rows_into;
+use crate::baseline::rows_pass;
+use crate::mono::{with_ops, Combine, Reduce};
 use crate::reference::{feature_dim, validate_inputs};
 use crate::{AggregationConfig, BinaryOp, ReduceOp};
 use distgnn_graph::blocks::SourceBlocks;
 use distgnn_graph::Csr;
 use distgnn_tensor::Matrix;
 
-/// Cache-blocked Alg. 2, destination-major inner loops.
+/// Cache-blocked Alg. 2, destination-major inner loops. The operator
+/// pair is resolved once; every block pass runs monomorphized.
 pub fn aggregate_blocked(
     graph: &Csr,
     features: &Matrix,
@@ -28,19 +30,31 @@ pub fn aggregate_blocked(
     let n = graph.num_vertices();
     let mut out = Matrix::full(n, d, reduce.identity());
     let blocks = SourceBlocks::split(graph, config.n_blocks);
+    with_ops!(
+        op,
+        reduce,
+        blocked_pass(&blocks, features, edge_features, config, &mut out)
+    );
+    out
+}
+
+fn blocked_pass<C: Combine, R: Reduce>(
+    blocks: &SourceBlocks,
+    features: &Matrix,
+    edge_features: Option<&Matrix>,
+    config: &AggregationConfig,
+    out: &mut Matrix,
+) {
     for block in &blocks.blocks {
-        aggregate_rows_into(
+        rows_pass::<C, R>(
             block,
             features,
             edge_features,
-            op,
-            reduce,
             config.schedule,
             config.chunk_size,
-            &mut out,
+            out,
         );
     }
-    out
 }
 
 #[cfg(test)]

@@ -24,13 +24,19 @@ pub enum LoopOrder {
 }
 
 /// Full kernel configuration.
+///
+/// `chunk_size` only affects [`Schedule::Dynamic`]: under
+/// [`Schedule::Static`] each thread takes one contiguous range and the
+/// field is silently ignored, so two static configs differing only in
+/// `chunk_size` run identically (they still compare unequal with `==`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AggregationConfig {
     /// Number of source blocks `n_B` (1 = unblocked).
     pub n_blocks: usize,
     pub schedule: Schedule,
     pub loop_order: LoopOrder,
-    /// Destination rows per dynamic chunk.
+    /// Destination rows per dynamic chunk ([`Schedule::Dynamic`] only;
+    /// ignored under [`Schedule::Static`]).
     pub chunk_size: usize,
 }
 

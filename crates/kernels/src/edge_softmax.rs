@@ -27,10 +27,14 @@ pub fn edge_softmax(graph: &Csr, scores: &Matrix) -> Matrix {
     // need unsafe; the gather-then-write keeps it safe).
     let parts: Vec<(Vec<u32>, Vec<f32>)> = rows
         .par_iter()
-        .filter(|(_, eids)| !eids.is_empty())
         .map(|(_, eids)| {
+            // Destinations with no incoming edges yield empty buffers
+            // and are skipped by the write-back loop below.
             let mut local = vec![0.0f32; eids.len() * d];
             for j in 0..d {
+                if eids.is_empty() {
+                    break;
+                }
                 let mut max = f32::NEG_INFINITY;
                 for &e in eids {
                     max = max.max(scores[(e as usize, j)]);

@@ -51,26 +51,59 @@ pub fn gcn_aggregate_prepared(
     agg
 }
 
-/// [`gcn_aggregate_backward`] against a prepared *transposed* graph.
-pub fn gcn_aggregate_backward_prepared(
-    prep_t: &crate::PreparedAggregation,
-    grad_out: &Matrix,
+/// [`gcn_aggregate_prepared`] into a caller-owned output buffer
+/// (contents overwritten); allocation-free.
+pub fn gcn_aggregate_prepared_into(
+    prep: &crate::PreparedAggregation,
+    features: &Matrix,
     degrees: &[f32],
-) -> Matrix {
-    assert_eq!(degrees.len(), grad_out.rows());
-    let mut scaled = grad_out.clone();
-    let d = scaled.cols();
-    scaled
-        .as_mut_slice()
+    out: &mut Matrix,
+) {
+    prep.aggregate_into(features, None, BinaryOp::CopyLhs, ReduceOp::Sum, out);
+    gcn_normalize(out, features, degrees);
+}
+
+/// Scales each row by `1 / (deg + 1)` — the shared prologue of both
+/// backward forms.
+fn scale_rows_by_inv_degree(m: &mut Matrix, degrees: &[f32]) {
+    let d = m.cols();
+    m.as_mut_slice()
         .par_chunks_mut(d)
         .zip(degrees.par_iter())
         .for_each(|(row, &deg)| {
             let inv = 1.0 / (deg + 1.0);
             row.iter_mut().for_each(|x| *x *= inv);
         });
-    let mut grad_in = prep_t.aggregate(&scaled, None, BinaryOp::CopyLhs, ReduceOp::Sum);
-    distgnn_tensor::ops::add_assign(&mut grad_in, &scaled);
+}
+
+/// [`gcn_aggregate_backward`] against a prepared *transposed* graph.
+pub fn gcn_aggregate_backward_prepared(
+    prep_t: &crate::PreparedAggregation,
+    grad_out: &Matrix,
+    degrees: &[f32],
+) -> Matrix {
+    let mut scaled = Matrix::zeros(grad_out.rows(), grad_out.cols());
+    let mut grad_in = Matrix::zeros(grad_out.rows(), grad_out.cols());
+    gcn_aggregate_backward_prepared_into(prep_t, grad_out, degrees, &mut scaled, &mut grad_in);
     grad_in
+}
+
+/// [`gcn_aggregate_backward_prepared`] into caller-owned buffers:
+/// `scaled` is scratch for the degree-normalized gradient and `grad_in`
+/// receives the result; both must match `grad_out`'s shape.
+/// Allocation-free.
+pub fn gcn_aggregate_backward_prepared_into(
+    prep_t: &crate::PreparedAggregation,
+    grad_out: &Matrix,
+    degrees: &[f32],
+    scaled: &mut Matrix,
+    grad_in: &mut Matrix,
+) {
+    assert_eq!(degrees.len(), grad_out.rows());
+    scaled.copy_from(grad_out);
+    scale_rows_by_inv_degree(scaled, degrees);
+    prep_t.aggregate_into(scaled, None, BinaryOp::CopyLhs, ReduceOp::Sum, grad_in);
+    distgnn_tensor::ops::add_assign(grad_in, scaled);
 }
 
 /// Backward of [`gcn_aggregate`] with respect to the input features.
@@ -87,15 +120,7 @@ pub fn gcn_aggregate_backward(
     assert_eq!(degrees.len(), grad_out.rows());
     // Scale incoming gradient by each destination's normalizer.
     let mut scaled = grad_out.clone();
-    let d = scaled.cols();
-    scaled
-        .as_mut_slice()
-        .par_chunks_mut(d)
-        .zip(degrees.par_iter())
-        .for_each(|(row, &deg)| {
-            let inv = 1.0 / (deg + 1.0);
-            row.iter_mut().for_each(|x| *x *= inv);
-        });
+    scale_rows_by_inv_degree(&mut scaled, degrees);
     // A^T term: push scaled gradients back along reversed edges.
     let mut grad_in = aggregate(
         graph_t,

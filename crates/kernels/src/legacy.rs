@@ -1,0 +1,190 @@
+//! The seed's enum-dispatching aggregation kernel, kept verbatim for
+//! benchmarking.
+//!
+//! This is the pre-monomorphization implementation: `(BinaryOp,
+//! ReduceOp)` are matched **per edge** in the innermost loop. It exists
+//! so `benches/ap_kernels.rs` and the `bench` binary can measure the
+//! dispatch overhead the [`crate::mono`] kernels remove; production
+//! paths must use [`crate::aggregate`] / [`crate::PreparedAggregation`]
+//! instead.
+
+use crate::reference::{feature_dim, validate_inputs};
+use crate::reordered::SIMD_WIDTH;
+use crate::schedule::for_each_destination;
+use crate::{AggregationConfig, BinaryOp, LoopOrder, ReduceOp};
+use distgnn_graph::blocks::SourceBlocks;
+use distgnn_graph::Csr;
+use distgnn_tensor::Matrix;
+
+/// Enum-dispatch equivalent of [`crate::aggregate`]: same result, same
+/// blocking and scheduling, but with the seed's per-edge operator
+/// `match` left in the inner loops.
+pub fn aggregate_enum_dispatch(
+    graph: &Csr,
+    features: &Matrix,
+    edge_features: Option<&Matrix>,
+    op: BinaryOp,
+    reduce: ReduceOp,
+    config: &AggregationConfig,
+) -> Matrix {
+    validate_inputs(graph, features, edge_features, op);
+    let d = feature_dim(features, edge_features, op);
+    let mut out = Matrix::full(graph.num_vertices(), d, reduce.identity());
+    let blocks = SourceBlocks::split(graph, config.n_blocks);
+    for block in &blocks.blocks {
+        match config.loop_order {
+            LoopOrder::DestinationMajor => rows_pass_dispatching(
+                block,
+                features,
+                edge_features,
+                op,
+                reduce,
+                config,
+                &mut out,
+            ),
+            LoopOrder::FeatureStrips => strips_pass_dispatching(
+                block,
+                features,
+                edge_features,
+                op,
+                reduce,
+                config,
+                &mut out,
+            ),
+        }
+    }
+    out
+}
+
+fn rows_pass_dispatching(
+    graph: &Csr,
+    features: &Matrix,
+    edge_features: Option<&Matrix>,
+    op: BinaryOp,
+    reduce: ReduceOp,
+    config: &AggregationConfig,
+    out: &mut Matrix,
+) {
+    let d = out.cols();
+    for_each_destination(
+        out.as_mut_slice(),
+        d,
+        config.schedule,
+        config.chunk_size,
+        |v, out_row| {
+            let nbrs = graph.neighbors(v as u32);
+            let eids = graph.edge_ids(v as u32);
+            for (k, &u) in nbrs.iter().enumerate() {
+                match (op, edge_features) {
+                    (BinaryOp::CopyLhs, _) => {
+                        let src = features.row(u as usize);
+                        for (o, &s) in out_row.iter_mut().zip(src) {
+                            *o = reduce.apply(*o, s);
+                        }
+                    }
+                    (BinaryOp::CopyRhs, Some(fe)) => {
+                        let e_row = fe.row(eids[k] as usize);
+                        for (o, &e) in out_row.iter_mut().zip(e_row) {
+                            *o = reduce.apply(*o, e);
+                        }
+                    }
+                    (_, Some(fe)) => {
+                        let src = features.row(u as usize);
+                        let e_row = fe.row(eids[k] as usize);
+                        for ((o, &s), &e) in out_row.iter_mut().zip(src).zip(e_row) {
+                            *o = reduce.apply(*o, op.apply(s, e));
+                        }
+                    }
+                    (_, None) => unreachable!("validated: binary op requires edge features"),
+                }
+            }
+        },
+    );
+}
+
+fn strips_pass_dispatching(
+    graph: &Csr,
+    features: &Matrix,
+    edge_features: Option<&Matrix>,
+    op: BinaryOp,
+    reduce: ReduceOp,
+    config: &AggregationConfig,
+    out: &mut Matrix,
+) {
+    let d = out.cols();
+    for_each_destination(
+        out.as_mut_slice(),
+        d,
+        config.schedule,
+        config.chunk_size,
+        |v, out_row| {
+            let nbrs = graph.neighbors(v as u32);
+            if nbrs.is_empty() {
+                return;
+            }
+            let eids = graph.edge_ids(v as u32);
+            let mut j = 0;
+            while j < d {
+                let w = (d - j).min(SIMD_WIDTH);
+                let mut t = [0.0f32; SIMD_WIDTH];
+                t[..w].copy_from_slice(&out_row[j..j + w]);
+                for (k, &u) in nbrs.iter().enumerate() {
+                    match (op, edge_features) {
+                        (BinaryOp::CopyLhs, _) => {
+                            let src = &features.row(u as usize)[j..j + w];
+                            for (acc, &s) in t[..w].iter_mut().zip(src) {
+                                *acc = reduce.apply(*acc, s);
+                            }
+                        }
+                        (BinaryOp::CopyRhs, Some(fe)) => {
+                            let e_row = &fe.row(eids[k] as usize)[j..j + w];
+                            for (acc, &e) in t[..w].iter_mut().zip(e_row) {
+                                *acc = reduce.apply(*acc, e);
+                            }
+                        }
+                        (_, Some(fe)) => {
+                            let src = &features.row(u as usize)[j..j + w];
+                            let e_row = &fe.row(eids[k] as usize)[j..j + w];
+                            for ((acc, &s), &e) in t[..w].iter_mut().zip(src).zip(e_row) {
+                                *acc = reduce.apply(*acc, op.apply(s, e));
+                            }
+                        }
+                        (_, None) => unreachable!("validated: binary op requires edge features"),
+                    }
+                }
+                out_row[j..j + w].copy_from_slice(&t[..w]);
+                j += w;
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate;
+    use distgnn_graph::generators::rmat;
+    use distgnn_tensor::init::random_features;
+
+    /// The legacy kernel must stay result-identical to the production
+    /// one so bench comparisons measure dispatch, not semantics.
+    #[test]
+    fn legacy_matches_monomorphized_across_ops_and_configs() {
+        let g = Csr::from_edges(&rmat(50, 300, (0.5, 0.2, 0.2), 31));
+        let f = random_features(50, 17, 32);
+        let mut fe = random_features(g.num_edges(), 17, 33);
+        fe.as_mut_slice().iter_mut().for_each(|x| *x = x.abs() + 0.5);
+        for op in BinaryOp::ALL {
+            for red in ReduceOp::ALL {
+                for cfg in [
+                    AggregationConfig::baseline(),
+                    AggregationConfig::optimized(3),
+                ] {
+                    let legacy = aggregate_enum_dispatch(&g, &f, Some(&fe), op, red, &cfg);
+                    let mono = aggregate(&g, &f, Some(&fe), op, red, &cfg);
+                    assert_eq!(legacy, mono, "{op:?}/{red:?}/{cfg:?}");
+                }
+            }
+        }
+    }
+}

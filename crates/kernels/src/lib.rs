@@ -28,6 +28,8 @@ pub mod config;
 pub mod edge_softmax;
 pub mod gcn;
 pub mod instrumented;
+pub mod legacy;
+pub mod mono;
 pub mod ops;
 pub mod prepared;
 pub mod reference;

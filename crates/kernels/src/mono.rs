@@ -1,0 +1,165 @@
+//! Monomorphized operator kernels.
+//!
+//! The seed kernels matched `(BinaryOp, ReduceOp)` *per edge* inside
+//! the innermost loop — exactly the dispatch LIBXSMM's JITed kernels
+//! exist to eliminate. Here each operator is a zero-sized type whose
+//! `apply` is `#[inline(always)]` and whose operand-usage flags are
+//! associated consts, so a kernel generic over `<C: Combine, R:
+//! Reduce>` compiles to a branch-free inner loop per combination. The
+//! [`with_ops!`] macro is the 6 × 3 kernel table: it matches the enum
+//! pair **once per call** and binds the corresponding types.
+//!
+//! The public enum API ([`crate::BinaryOp`], [`crate::ReduceOp`]) is
+//! unchanged; enums are the front-end, these types are the back-end.
+
+use crate::{BinaryOp, ReduceOp};
+
+/// Compile-time `⊗`: element-wise combine of `(f_V[u], f_E[e])`.
+pub trait Combine: Copy + Send + Sync + 'static {
+    /// Whether the vertex-feature operand is read.
+    const USES_LHS: bool;
+    /// Whether the edge-feature operand is read.
+    const USES_RHS: bool;
+    /// The enum this type stands for.
+    const ENUM: BinaryOp;
+
+    fn apply(lhs: f32, rhs: f32) -> f32;
+}
+
+/// Compile-time `⊕`: element-wise reduction into the output row.
+pub trait Reduce: Copy + Send + Sync + 'static {
+    /// Identity element used to initialize `f_O`.
+    const IDENTITY: f32;
+    /// The enum this type stands for.
+    const ENUM: ReduceOp;
+
+    fn apply(acc: f32, value: f32) -> f32;
+}
+
+macro_rules! combine_impl {
+    ($name:ident, $variant:ident, lhs: $lhs:literal, rhs: $rhs:literal, |$a:ident, $b:ident| $expr:expr) => {
+        #[derive(Clone, Copy, Debug)]
+        pub struct $name;
+
+        impl Combine for $name {
+            const USES_LHS: bool = $lhs;
+            const USES_RHS: bool = $rhs;
+            const ENUM: BinaryOp = BinaryOp::$variant;
+
+            #[inline(always)]
+            fn apply($a: f32, $b: f32) -> f32 {
+                $expr
+            }
+        }
+    };
+}
+
+combine_impl!(CAdd, Add, lhs: true, rhs: true, |a, b| a + b);
+combine_impl!(CSub, Sub, lhs: true, rhs: true, |a, b| a - b);
+combine_impl!(CMul, Mul, lhs: true, rhs: true, |a, b| a * b);
+combine_impl!(CDiv, Div, lhs: true, rhs: true, |a, b| a / b);
+combine_impl!(CCopyLhs, CopyLhs, lhs: true, rhs: false, |a, _b| a);
+combine_impl!(CCopyRhs, CopyRhs, lhs: false, rhs: true, |_a, b| b);
+
+macro_rules! reduce_impl {
+    ($name:ident, $variant:ident, identity: $id:expr, |$acc:ident, $v:ident| $expr:expr) => {
+        #[derive(Clone, Copy, Debug)]
+        pub struct $name;
+
+        impl Reduce for $name {
+            const IDENTITY: f32 = $id;
+            const ENUM: ReduceOp = ReduceOp::$variant;
+
+            #[inline(always)]
+            fn apply($acc: f32, $v: f32) -> f32 {
+                $expr
+            }
+        }
+    };
+}
+
+reduce_impl!(RSum, Sum, identity: 0.0, |acc, v| acc + v);
+reduce_impl!(RMax, Max, identity: f32::NEG_INFINITY, |acc, v| acc.max(v));
+reduce_impl!(RMin, Min, identity: f32::INFINITY, |acc, v| acc.min(v));
+
+/// The 6 × 3 kernel table: resolves `(BinaryOp, ReduceOp)` to the
+/// corresponding zero-sized types **once per call**, then invokes the
+/// given generic function with `<C, R>` prepended to its type
+/// arguments: `with_ops!(op, red, kernel(args...))` expands each arm to
+/// `kernel::<CAdd, RSum>(args...)` etc. Inner loops see only
+/// `C::apply`/`R::apply`, which are compile-time known.
+macro_rules! with_ops {
+    ($op:expr, $red:expr, $f:ident($($args:tt)*)) => {{
+        use $crate::mono::{CAdd, CCopyLhs, CCopyRhs, CDiv, CMul, CSub, RMax, RMin, RSum};
+        match ($op, $red) {
+            ($crate::BinaryOp::Add, $crate::ReduceOp::Sum) => $f::<CAdd, RSum>($($args)*),
+            ($crate::BinaryOp::Add, $crate::ReduceOp::Max) => $f::<CAdd, RMax>($($args)*),
+            ($crate::BinaryOp::Add, $crate::ReduceOp::Min) => $f::<CAdd, RMin>($($args)*),
+            ($crate::BinaryOp::Sub, $crate::ReduceOp::Sum) => $f::<CSub, RSum>($($args)*),
+            ($crate::BinaryOp::Sub, $crate::ReduceOp::Max) => $f::<CSub, RMax>($($args)*),
+            ($crate::BinaryOp::Sub, $crate::ReduceOp::Min) => $f::<CSub, RMin>($($args)*),
+            ($crate::BinaryOp::Mul, $crate::ReduceOp::Sum) => $f::<CMul, RSum>($($args)*),
+            ($crate::BinaryOp::Mul, $crate::ReduceOp::Max) => $f::<CMul, RMax>($($args)*),
+            ($crate::BinaryOp::Mul, $crate::ReduceOp::Min) => $f::<CMul, RMin>($($args)*),
+            ($crate::BinaryOp::Div, $crate::ReduceOp::Sum) => $f::<CDiv, RSum>($($args)*),
+            ($crate::BinaryOp::Div, $crate::ReduceOp::Max) => $f::<CDiv, RMax>($($args)*),
+            ($crate::BinaryOp::Div, $crate::ReduceOp::Min) => $f::<CDiv, RMin>($($args)*),
+            ($crate::BinaryOp::CopyLhs, $crate::ReduceOp::Sum) => $f::<CCopyLhs, RSum>($($args)*),
+            ($crate::BinaryOp::CopyLhs, $crate::ReduceOp::Max) => $f::<CCopyLhs, RMax>($($args)*),
+            ($crate::BinaryOp::CopyLhs, $crate::ReduceOp::Min) => $f::<CCopyLhs, RMin>($($args)*),
+            ($crate::BinaryOp::CopyRhs, $crate::ReduceOp::Sum) => $f::<CCopyRhs, RSum>($($args)*),
+            ($crate::BinaryOp::CopyRhs, $crate::ReduceOp::Max) => $f::<CCopyRhs, RMax>($($args)*),
+            ($crate::BinaryOp::CopyRhs, $crate::ReduceOp::Min) => $f::<CCopyRhs, RMin>($($args)*),
+        }
+    }};
+}
+
+pub(crate) use with_ops;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every ZST's `apply`, usage flags and identity agree with the
+    /// enum it stands for.
+    #[test]
+    fn zst_table_matches_enums() {
+        fn check_combine<C: Combine>() {
+            for (a, b) in [(2.0f32, 3.0), (-1.5, 0.5), (7.0, -2.0)] {
+                assert_eq!(C::apply(a, b), C::ENUM.apply(a, b), "{:?}", C::ENUM);
+            }
+            assert_eq!(C::USES_LHS, C::ENUM.uses_lhs(), "{:?}", C::ENUM);
+            assert_eq!(C::USES_RHS, C::ENUM.uses_rhs(), "{:?}", C::ENUM);
+        }
+        fn check_reduce<R: Reduce>() {
+            for (a, b) in [(2.0f32, 3.0), (-1.5, 0.5), (f32::NEG_INFINITY, 1.0)] {
+                assert_eq!(R::apply(a, b), R::ENUM.apply(a, b), "{:?}", R::ENUM);
+            }
+            assert_eq!(R::IDENTITY, R::ENUM.identity(), "{:?}", R::ENUM);
+        }
+        check_combine::<CAdd>();
+        check_combine::<CSub>();
+        check_combine::<CMul>();
+        check_combine::<CDiv>();
+        check_combine::<CCopyLhs>();
+        check_combine::<CCopyRhs>();
+        check_reduce::<RSum>();
+        check_reduce::<RMax>();
+        check_reduce::<RMin>();
+    }
+
+    /// `with_ops!` resolves every enum pair to the matching types.
+    #[test]
+    fn with_ops_resolves_all_pairs() {
+        fn pair<C: Combine, R: Reduce>() -> (BinaryOp, ReduceOp) {
+            (C::ENUM, R::ENUM)
+        }
+        for op in BinaryOp::ALL {
+            for red in ReduceOp::ALL {
+                let (got_op, got_red) = with_ops!(op, red, pair());
+                assert_eq!(got_op, op);
+                assert_eq!(got_red, red);
+            }
+        }
+    }
+}

@@ -7,9 +7,10 @@
 //! convenience [`crate::aggregate`] entry point re-splits per call and
 //! is only appropriate for one-shot use.
 
-use crate::baseline::aggregate_rows_into;
+use crate::baseline::rows_pass;
+use crate::mono::{with_ops, Combine, Reduce};
 use crate::reference::feature_dim;
-use crate::reordered::reordered_pass;
+use crate::reordered::strips_pass;
 use crate::{AggregationConfig, BinaryOp, LoopOrder, ReduceOp};
 use distgnn_graph::blocks::SourceBlocks;
 use distgnn_graph::Csr;
@@ -55,34 +56,66 @@ impl PreparedAggregation {
         op: BinaryOp,
         reduce: ReduceOp,
     ) -> Matrix {
+        let d = feature_dim(features, edge_features, op);
+        let mut out = Matrix::zeros(self.num_vertices, d);
+        self.aggregate_into(features, edge_features, op, reduce, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::aggregate`]: writes into a
+    /// caller-owned output matrix of shape `(num_vertices, d)`. The
+    /// previous contents of `out` are overwritten (it is reset to the
+    /// reduction identity first), so the same buffer can be reused
+    /// every epoch. The operator pair is resolved **once** here; all
+    /// block passes below run monomorphized.
+    pub fn aggregate_into(
+        &self,
+        features: &Matrix,
+        edge_features: Option<&Matrix>,
+        op: BinaryOp,
+        reduce: ReduceOp,
+        out: &mut Matrix,
+    ) {
         // Validate against the first block (same vertex space).
         validate_shapes(self, features, edge_features, op);
         let d = feature_dim(features, edge_features, op);
-        let mut out = Matrix::full(self.num_vertices, d, reduce.identity());
-        for block in &self.blocks.blocks {
-            match self.config.loop_order {
-                LoopOrder::DestinationMajor => aggregate_rows_into(
-                    block,
-                    features,
-                    edge_features,
-                    op,
-                    reduce,
-                    self.config.schedule,
-                    self.config.chunk_size,
-                    &mut out,
-                ),
-                LoopOrder::FeatureStrips => reordered_pass(
-                    block,
-                    features,
-                    edge_features,
-                    op,
-                    reduce,
-                    &self.config,
-                    &mut out,
-                ),
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (self.num_vertices, d),
+            "output buffer shape must be (num_vertices, feature_dim)"
+        );
+        out.fill(reduce.identity());
+        with_ops!(
+            op,
+            reduce,
+            run_blocks(&self.blocks, features, edge_features, &self.config, out)
+        );
+    }
+}
+
+/// Monomorphized block loop shared by both loop orders: every pass over
+/// every block uses the same compile-time `(C, R)` pair.
+fn run_blocks<C: Combine, R: Reduce>(
+    blocks: &SourceBlocks,
+    features: &Matrix,
+    edge_features: Option<&Matrix>,
+    config: &AggregationConfig,
+    out: &mut Matrix,
+) {
+    for block in &blocks.blocks {
+        match config.loop_order {
+            LoopOrder::DestinationMajor => rows_pass::<C, R>(
+                block,
+                features,
+                edge_features,
+                config.schedule,
+                config.chunk_size,
+                out,
+            ),
+            LoopOrder::FeatureStrips => {
+                strips_pass::<C, R>(block, features, edge_features, config, out)
             }
         }
-        out
     }
 }
 

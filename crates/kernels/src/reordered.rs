@@ -7,6 +7,7 @@
 //! LLVM auto-vectorizes it — the Rust stand-in for LIBXSMM's JITed
 //! SIMD kernels.
 
+use crate::mono::{with_ops, Combine, Reduce};
 use crate::reference::{feature_dim, validate_inputs};
 use crate::schedule::for_each_destination;
 use crate::{AggregationConfig, BinaryOp, ReduceOp};
@@ -38,6 +39,8 @@ pub fn aggregate_reordered(
     out
 }
 
+/// Enum front-end: resolves the operator pair once, then runs the
+/// monomorphized strip pass.
 pub(crate) fn reordered_pass(
     block: &Csr,
     features: &Matrix,
@@ -47,7 +50,28 @@ pub(crate) fn reordered_pass(
     config: &AggregationConfig,
     out: &mut Matrix,
 ) {
+    with_ops!(
+        op,
+        reduce,
+        strips_pass(block, features, edge_features, config, out)
+    );
+}
+
+/// The monomorphized strip pass. `C`/`R` are zero-sized; the lane loop
+/// below is branch-free and auto-vectorizes.
+pub(crate) fn strips_pass<C: Combine, R: Reduce>(
+    block: &Csr,
+    features: &Matrix,
+    edge_features: Option<&Matrix>,
+    config: &AggregationConfig,
+    out: &mut Matrix,
+) {
     let d = out.cols();
+    let fe = if C::USES_RHS {
+        edge_features.expect("validated: binary op requires edge features")
+    } else {
+        features
+    };
     for_each_destination(
         out.as_mut_slice(),
         d,
@@ -64,16 +88,7 @@ pub(crate) fn reordered_pass(
             while j + SIMD_WIDTH <= d {
                 let mut t = [0.0f32; SIMD_WIDTH];
                 t.copy_from_slice(&out_row[j..j + SIMD_WIDTH]);
-                accumulate_strip(
-                    &mut t,
-                    j,
-                    nbrs,
-                    eids,
-                    features,
-                    edge_features,
-                    op,
-                    reduce,
-                );
+                accumulate_strip::<C, R>(&mut t, j, nbrs, eids, features, fe);
                 out_row[j..j + SIMD_WIDTH].copy_from_slice(&t);
                 j += SIMD_WIDTH;
             }
@@ -82,94 +97,69 @@ pub(crate) fn reordered_pass(
                 let w = d - j;
                 let mut t = [0.0f32; SIMD_WIDTH];
                 t[..w].copy_from_slice(&out_row[j..j + w]);
-                accumulate_strip_partial(
-                    &mut t[..w],
-                    j,
-                    nbrs,
-                    eids,
-                    features,
-                    edge_features,
-                    op,
-                    reduce,
-                );
+                accumulate_strip_partial::<C, R>(&mut t[..w], j, nbrs, eids, features, fe);
                 out_row[j..j + w].copy_from_slice(&t[..w]);
             }
         },
     );
 }
 
-#[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn accumulate_strip(
+fn accumulate_strip<C: Combine, R: Reduce>(
     t: &mut [f32; SIMD_WIDTH],
     j: usize,
     nbrs: &[u32],
     eids: &[u32],
     features: &Matrix,
-    edge_features: Option<&Matrix>,
-    op: BinaryOp,
-    reduce: ReduceOp,
+    fe: &Matrix,
 ) {
     for (k, &u) in nbrs.iter().enumerate() {
-        match (op, edge_features) {
-            (BinaryOp::CopyLhs, _) => {
-                let src = &features.row(u as usize)[j..j + SIMD_WIDTH];
-                for (lane, acc) in t.iter_mut().enumerate() {
-                    *acc = reduce.apply(*acc, src[lane]);
-                }
+        if !C::USES_RHS {
+            let src = &features.row(u as usize)[j..j + SIMD_WIDTH];
+            for (lane, acc) in t.iter_mut().enumerate() {
+                *acc = R::apply(*acc, src[lane]);
             }
-            (BinaryOp::CopyRhs, Some(fe)) => {
-                let e_row = &fe.row(eids[k] as usize)[j..j + SIMD_WIDTH];
-                for (lane, acc) in t.iter_mut().enumerate() {
-                    *acc = reduce.apply(*acc, e_row[lane]);
-                }
+        } else if !C::USES_LHS {
+            let e_row = &fe.row(eids[k] as usize)[j..j + SIMD_WIDTH];
+            for (lane, acc) in t.iter_mut().enumerate() {
+                *acc = R::apply(*acc, e_row[lane]);
             }
-            (_, Some(fe)) => {
-                let src = &features.row(u as usize)[j..j + SIMD_WIDTH];
-                let e_row = &fe.row(eids[k] as usize)[j..j + SIMD_WIDTH];
-                for (lane, acc) in t.iter_mut().enumerate() {
-                    *acc = reduce.apply(*acc, op.apply(src[lane], e_row[lane]));
-                }
+        } else {
+            let src = &features.row(u as usize)[j..j + SIMD_WIDTH];
+            let e_row = &fe.row(eids[k] as usize)[j..j + SIMD_WIDTH];
+            for (lane, acc) in t.iter_mut().enumerate() {
+                *acc = R::apply(*acc, C::apply(src[lane], e_row[lane]));
             }
-            (_, None) => unreachable!("validated: binary op requires edge features"),
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn accumulate_strip_partial(
+fn accumulate_strip_partial<C: Combine, R: Reduce>(
     t: &mut [f32],
     j: usize,
     nbrs: &[u32],
     eids: &[u32],
     features: &Matrix,
-    edge_features: Option<&Matrix>,
-    op: BinaryOp,
-    reduce: ReduceOp,
+    fe: &Matrix,
 ) {
     let w = t.len();
     for (k, &u) in nbrs.iter().enumerate() {
-        match (op, edge_features) {
-            (BinaryOp::CopyLhs, _) => {
-                let src = &features.row(u as usize)[j..j + w];
-                for (acc, &s) in t.iter_mut().zip(src) {
-                    *acc = reduce.apply(*acc, s);
-                }
+        if !C::USES_RHS {
+            let src = &features.row(u as usize)[j..j + w];
+            for (acc, &s) in t.iter_mut().zip(src) {
+                *acc = R::apply(*acc, s);
             }
-            (BinaryOp::CopyRhs, Some(fe)) => {
-                let e_row = &fe.row(eids[k] as usize)[j..j + w];
-                for (acc, &e) in t.iter_mut().zip(e_row) {
-                    *acc = reduce.apply(*acc, e);
-                }
+        } else if !C::USES_LHS {
+            let e_row = &fe.row(eids[k] as usize)[j..j + w];
+            for (acc, &e) in t.iter_mut().zip(e_row) {
+                *acc = R::apply(*acc, e);
             }
-            (_, Some(fe)) => {
-                let src = &features.row(u as usize)[j..j + w];
-                let e_row = &fe.row(eids[k] as usize)[j..j + w];
-                for ((acc, &s), &e) in t.iter_mut().zip(src).zip(e_row) {
-                    *acc = reduce.apply(*acc, op.apply(s, e));
-                }
+        } else {
+            let src = &features.row(u as usize)[j..j + w];
+            let e_row = &fe.row(eids[k] as usize)[j..j + w];
+            for ((acc, &s), &e) in t.iter_mut().zip(src).zip(e_row) {
+                *acc = R::apply(*acc, C::apply(s, e));
             }
-            (_, None) => unreachable!("validated: binary op requires edge features"),
         }
     }
 }

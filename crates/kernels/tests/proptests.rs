@@ -3,7 +3,7 @@
 
 use distgnn_kernels::reference::aggregate_reference;
 use distgnn_kernels::{
-    aggregate, AggregationConfig, BinaryOp, LoopOrder, ReduceOp, Schedule,
+    aggregate, AggregationConfig, BinaryOp, LoopOrder, PreparedAggregation, ReduceOp, Schedule,
 };
 use distgnn_graph::{Csr, EdgeList};
 use distgnn_tensor::init::random_features;
@@ -61,6 +61,46 @@ proptest! {
                 prop_assert!(
                     got.approx_eq(&want, 1e-3),
                     "mismatch {op:?}/{red:?}/{schedule:?}/{loop_order:?} n_B={n_blocks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_into_bit_identical_to_allocating(
+        (n, es) in arb_graph(),
+        op in arb_op(),
+        red in arb_reduce(),
+        d in 1usize..24,
+        n_blocks in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        // The `_into` form must be *bit*-identical to the allocating
+        // form — same accumulation order, including Max/Min ties — even
+        // when the output buffer holds stale values from a prior call.
+        let g = Csr::from_edges(&EdgeList::from_pairs(n, &es));
+        let f = random_features(n, d, seed);
+        let mut fe = random_features(g.num_edges().max(1), d, seed ^ 1);
+        fe.as_mut_slice().iter_mut().for_each(|x| *x = x.abs() + 0.25);
+        let fe = distgnn_tensor::Matrix::from_vec(
+            g.num_edges(), d,
+            fe.into_vec()[..g.num_edges() * d].to_vec(),
+        );
+        let mut out = distgnn_tensor::Matrix::full(n, d, f32::NAN);
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            for loop_order in [LoopOrder::DestinationMajor, LoopOrder::FeatureStrips] {
+                let cfg = AggregationConfig {
+                    n_blocks,
+                    schedule,
+                    loop_order,
+                    chunk_size: 8,
+                };
+                let prep = PreparedAggregation::new(&g, cfg);
+                let want = prep.aggregate(&f, Some(&fe), op, red);
+                prep.aggregate_into(&f, Some(&fe), op, red, &mut out);
+                prop_assert!(
+                    out == want,
+                    "into/alloc mismatch {op:?}/{red:?}/{schedule:?}/{loop_order:?} n_B={n_blocks}"
                 );
             }
         }

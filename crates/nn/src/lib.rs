@@ -18,5 +18,5 @@ pub mod metrics;
 pub mod optim;
 
 pub use linear::Linear;
-pub use loss::{masked_cross_entropy, CrossEntropyResult};
+pub use loss::{masked_cross_entropy, masked_cross_entropy_into, CrossEntropyResult};
 pub use optim::{Adam, AdamConfig, Sgd};

@@ -1,6 +1,12 @@
 //! Fully-connected layer with explicit backward pass.
+//!
+//! Both passes have `_into` variants writing into caller-owned buffers
+//! so training epochs can reuse one [`LinearGrads`] per layer instead
+//! of reallocating every step.
 
-use distgnn_tensor::{init, matmul, matmul_a_bt, matmul_at_b, ops, Matrix};
+use distgnn_tensor::{
+    init, matmul_a_bt_into, matmul_at_b_into, matmul_into, ops, Matrix,
+};
 
 /// `z = x · W + b`, Xavier-initialized.
 #[derive(Clone, Debug)]
@@ -17,6 +23,18 @@ pub struct LinearGrads {
     pub grad_input: Matrix,
     pub grad_weight: Matrix,
     pub grad_bias: Vec<f32>,
+}
+
+impl LinearGrads {
+    /// Zeroed gradient buffers shaped for `layer` applied to `rows`
+    /// input rows — the reusable target of [`Linear::backward_into`].
+    pub fn zeros_for(layer: &Linear, rows: usize) -> Self {
+        LinearGrads {
+            grad_input: Matrix::zeros(rows, layer.in_dim()),
+            grad_weight: Matrix::zeros(layer.in_dim(), layer.out_dim()),
+            grad_bias: vec![0.0; layer.out_dim()],
+        }
+    }
 }
 
 impl Linear {
@@ -38,21 +56,43 @@ impl Linear {
 
     /// Forward pass. Callers keep `input` around for the backward pass.
     pub fn forward(&self, input: &Matrix) -> Matrix {
-        let mut z = matmul(input, &self.weight);
-        ops::add_bias(&mut z, &self.bias);
+        let mut z = Matrix::zeros(input.rows(), self.out_dim());
+        self.forward_into(input, &mut z);
         z
+    }
+
+    /// [`Self::forward`] into a caller-owned `rows x out_dim` buffer
+    /// (contents overwritten); allocation-free.
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        matmul_into(input, &self.weight, out);
+        ops::add_bias(out, &self.bias);
     }
 
     /// Backward pass given the cached forward `input` and the gradient
     /// of the loss w.r.t. this layer's output.
     pub fn backward(&self, input: &Matrix, grad_output: &Matrix) -> LinearGrads {
+        let mut grads = LinearGrads::zeros_for(self, input.rows());
+        let mut scratch = Vec::new();
+        self.backward_into(input, grad_output, &mut grads, &mut scratch);
+        grads
+    }
+
+    /// [`Self::backward`] into caller-owned gradient buffers (see
+    /// [`LinearGrads::zeros_for`]). `scratch` holds the weight-gradient
+    /// partials and is grown on first use; with a retained `grads` +
+    /// `scratch` pair, steady-state calls are allocation-free.
+    pub fn backward_into(
+        &self,
+        input: &Matrix,
+        grad_output: &Matrix,
+        grads: &mut LinearGrads,
+        scratch: &mut Vec<f32>,
+    ) {
         assert_eq!(grad_output.cols(), self.out_dim(), "grad_output width");
         assert_eq!(input.rows(), grad_output.rows(), "row count mismatch");
-        LinearGrads {
-            grad_input: matmul_a_bt(grad_output, &self.weight),
-            grad_weight: matmul_at_b(input, grad_output),
-            grad_bias: ops::column_sums(grad_output),
-        }
+        matmul_a_bt_into(grad_output, &self.weight, &mut grads.grad_input);
+        matmul_at_b_into(input, grad_output, &mut grads.grad_weight, scratch);
+        ops::column_sums_into(grad_output, &mut grads.grad_bias);
     }
 
     /// Number of scalar parameters (for AllReduce buffer sizing).

@@ -28,20 +28,32 @@ pub fn masked_cross_entropy(
     labels: &[usize],
     mask: &[usize],
 ) -> CrossEntropyResult {
-    assert_eq!(logits.rows(), labels.len(), "label count mismatch");
-    let all: Vec<usize>;
-    let rows: &[usize] = if mask.is_empty() {
-        all = (0..logits.rows()).collect();
-        &all
-    } else {
-        mask
-    };
-    assert!(!rows.is_empty(), "cannot compute loss over an empty selection");
-    let n = rows.len() as f32;
-    let probs = softmax::softmax_rows(logits);
+    let mut probs = Matrix::zeros(logits.rows(), logits.cols());
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = masked_cross_entropy_into(logits, labels, mask, &mut probs, &mut grad);
+    CrossEntropyResult { loss, grad_logits: grad }
+}
+
+/// [`masked_cross_entropy`] into caller-owned buffers: `probs` holds
+/// the row softmax (scratch, same shape as `logits`) and `grad` the
+/// logits gradient. Returns the loss. Allocation-free, so training
+/// epochs can reuse both matrices.
+pub fn masked_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[usize],
+    mask: &[usize],
+    probs: &mut Matrix,
+    grad: &mut Matrix,
+) -> f32 {
+    assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    assert_eq!(grad.shape(), logits.shape(), "grad buffer shape mismatch");
+    let count = if mask.is_empty() { logits.rows() } else { mask.len() };
+    assert!(count > 0, "cannot compute loss over an empty selection");
+    let n = count as f32;
+    softmax::softmax_rows_into(logits, probs);
+    grad.fill_zero();
     let mut loss = 0.0f32;
-    for &v in rows {
+    let mut row = |v: usize, grad: &mut Matrix| {
         let label = labels[v];
         assert!(label < logits.cols(), "label {label} out of range");
         let p = probs.row(v);
@@ -50,8 +62,17 @@ pub fn masked_cross_entropy(
         for (j, (&pj, g)) in p.iter().zip(grow.iter_mut()).enumerate() {
             *g = (pj - if j == label { 1.0 } else { 0.0 }) / n;
         }
+    };
+    if mask.is_empty() {
+        for v in 0..logits.rows() {
+            row(v, grad);
+        }
+    } else {
+        for &v in mask {
+            row(v, grad);
+        }
     }
-    CrossEntropyResult { loss: loss / n, grad_logits: grad }
+    loss / n
 }
 
 #[cfg(test)]

@@ -20,7 +20,9 @@ pub mod reduce;
 pub mod softmax;
 
 pub use init::{xavier_uniform, InitRng};
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into,
+};
 pub use matrix::Matrix;
 
 /// Absolute tolerance used by the crate's approximate-equality helpers.

@@ -10,6 +10,13 @@
 //! All three are written as row-parallel loops with a k-outer/j-inner
 //! kernel so the innermost loop streams contiguous memory and
 //! auto-vectorizes (the `ikj` order recommended for row-major storage).
+//! The inner loops carry no per-element branches: an earlier `aip ==
+//! 0.0` skip (meant to exploit ReLU sparsity) broke vectorization and
+//! cost more than the multiplies it saved on dense layer widths.
+//!
+//! Each product has an `_into` twin writing into a caller-owned output
+//! so steady-state training epochs allocate nothing; the allocating
+//! forms are thin wrappers.
 
 use crate::Matrix;
 use rayon::prelude::*;
@@ -19,6 +26,17 @@ use rayon::prelude::*;
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · B` into a caller-owned `m x n` output (contents
+/// overwritten). Allocation-free.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `c` has the wrong shape.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -27,25 +45,22 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.rows()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
+    assert_eq!(c.shape(), (m, n), "matmul_into: output shape mismatch");
     let b_data = b.as_slice();
     c.as_mut_slice()
         .par_chunks_mut(n.max(1))
         .enumerate()
         .for_each(|(i, c_row)| {
+            c_row.iter_mut().for_each(|x| *x = 0.0);
             let a_row = a.row(i);
             for p in 0..k {
                 let aip = a_row[p];
-                if aip == 0.0 {
-                    continue;
-                }
                 let b_row = &b_data[p * n..(p + 1) * n];
                 for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
                     *c_el += aip * b_el;
                 }
             }
         });
-    c
 }
 
 /// `C = Aᵀ · B` without materializing the transpose.
@@ -55,6 +70,20 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// (small) layer widths, so we parallelize the reduction over row blocks
 /// of `A`/`B` and sum per-thread partials.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    let mut scratch = Vec::new();
+    matmul_at_b_into(a, b, &mut out, &mut scratch);
+    out
+}
+
+/// `C = Aᵀ · B` into a caller-owned `k x n` output. `scratch` holds the
+/// per-block partial sums; it is grown on first use and reused
+/// thereafter, so a retained scratch makes steady-state calls
+/// allocation-free.
+///
+/// # Panics
+/// Panics if `a.rows() != b.rows()` or `out` has the wrong shape.
+pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut Vec<f32>) {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -63,43 +92,55 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
         b.rows()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(out.shape(), (k, n), "matmul_at_b_into: output shape mismatch");
+    if k * n == 0 {
+        return;
+    }
     let block = 1024usize;
     let n_blocks = m.div_ceil(block).max(1);
-    let partials: Vec<Vec<f32>> = (0..n_blocks)
-        .into_par_iter()
-        .map(|blk| {
+    scratch.clear();
+    scratch.resize(n_blocks * k * n, 0.0);
+    scratch
+        .par_chunks_mut(k * n)
+        .enumerate()
+        .for_each(|(blk, acc)| {
             let lo = blk * block;
             let hi = (lo + block).min(m);
-            let mut acc = vec![0.0f32; k * n];
             for i in lo..hi {
                 let a_row = a.row(i);
                 let b_row = b.row(i);
                 for (p, &ap) in a_row.iter().enumerate() {
-                    if ap == 0.0 {
-                        continue;
-                    }
                     let acc_row = &mut acc[p * n..(p + 1) * n];
                     for (c_el, &b_el) in acc_row.iter_mut().zip(b_row) {
                         *c_el += ap * b_el;
                     }
                 }
             }
-            acc
-        })
-        .collect();
-    let mut out = vec![0.0f32; k * n];
-    for part in partials {
-        for (o, p) in out.iter_mut().zip(part) {
-            *o += p;
+        });
+    out.fill_zero();
+    let o = out.as_mut_slice();
+    for part in scratch.chunks_exact(k * n) {
+        for (c_el, &p_el) in o.iter_mut().zip(part) {
+            *c_el += p_el;
         }
     }
-    Matrix::from_vec(k, n, out)
 }
 
 /// `C = A · Bᵀ` without materializing the transpose.
 ///
 /// `A` is `m x k`, `B` is `n x k`, the result is `m x n`.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    matmul_a_bt_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · Bᵀ` into a caller-owned `m x n` output (contents
+/// overwritten). Allocation-free.
+///
+/// # Panics
+/// Panics if `a.cols() != b.cols()` or `c` has the wrong shape.
+pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -108,7 +149,7 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, n) = (a.rows(), b.rows());
-    let mut c = Matrix::zeros(m, n);
+    assert_eq!(c.shape(), (m, n), "matmul_a_bt_into: output shape mismatch");
     c.as_mut_slice()
         .par_chunks_mut(n.max(1))
         .enumerate()
@@ -123,7 +164,6 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
                 *c_el = dot;
             }
         });
-    c
 }
 
 #[cfg(test)]
@@ -196,6 +236,30 @@ mod tests {
         assert_eq!(matmul(&a, &b).shape(), (0, 3));
         let c = Matrix::zeros(4, 0);
         assert_eq!(matmul(&b.transpose(), &c).shape(), (3, 0));
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let a = arange(7, 5);
+        let b = arange(5, 6);
+        let mut c = Matrix::full(7, 6, f32::NAN);
+        matmul_into(&a, &b, &mut c);
+        assert!(c.approx_eq(&naive(&a, &b), DEFAULT_TOL));
+
+        let bt = arange(9, 5);
+        let mut d = Matrix::full(7, 9, f32::NAN);
+        matmul_a_bt_into(&a, &bt, &mut d);
+        assert!(d.approx_eq(&naive(&a, &bt.transpose()), DEFAULT_TOL));
+
+        let b2 = arange(7, 4);
+        let mut e = Matrix::full(5, 4, f32::NAN);
+        let mut scratch = Vec::new();
+        matmul_at_b_into(&a, &b2, &mut e, &mut scratch);
+        let expect = naive(&a.transpose(), &b2);
+        assert!(e.approx_eq(&expect, DEFAULT_TOL));
+        // Second call reuses the grown scratch and stays correct.
+        matmul_at_b_into(&a, &b2, &mut e, &mut scratch);
+        assert!(e.approx_eq(&expect, DEFAULT_TOL));
     }
 
     #[test]

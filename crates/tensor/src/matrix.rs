@@ -151,6 +151,20 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Sets every element to `value`, keeping the allocation.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Copies `src`'s elements into `self` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()

@@ -61,16 +61,39 @@ pub fn relu_inplace(a: &mut Matrix) {
         .for_each(|chunk| chunk.iter_mut().for_each(|x| *x = x.max(0.0)));
 }
 
+/// ReLU into a caller-owned buffer of the same shape; allocation-free.
+pub fn relu_into(a: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.shape(), out.shape(), "relu_into shape mismatch");
+    out.as_mut_slice()
+        .par_chunks_mut(4096)
+        .zip(a.as_slice().par_chunks(4096))
+        .for_each(|(o, src)| {
+            for (oi, &x) in o.iter_mut().zip(src) {
+                *oi = x.max(0.0);
+            }
+        });
+}
+
 /// Backward of ReLU: `grad_in = grad_out ⊙ (pre_activation > 0)`.
 pub fn relu_backward(grad_out: &Matrix, pre_activation: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(grad_out.rows(), grad_out.cols());
+    relu_backward_into(grad_out, pre_activation, &mut out);
+    out
+}
+
+/// [`relu_backward`] into a caller-owned buffer; allocation-free.
+pub fn relu_backward_into(grad_out: &Matrix, pre_activation: &Matrix, out: &mut Matrix) {
     assert_eq!(grad_out.shape(), pre_activation.shape());
-    let data = grad_out
-        .as_slice()
-        .iter()
-        .zip(pre_activation.as_slice())
-        .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
-        .collect();
-    Matrix::from_vec(grad_out.rows(), grad_out.cols(), data)
+    assert_eq!(grad_out.shape(), out.shape(), "relu_backward_into shape mismatch");
+    out.as_mut_slice()
+        .par_chunks_mut(4096)
+        .zip(grad_out.as_slice().par_chunks(4096))
+        .zip(pre_activation.as_slice().par_chunks(4096))
+        .for_each(|((o, g), z)| {
+            for ((oi, &gi), &zi) in o.iter_mut().zip(g).zip(z) {
+                *oi = if zi > 0.0 { gi } else { 0.0 };
+            }
+        });
 }
 
 /// Adds the bias row vector to every row of `a`.
@@ -88,10 +111,20 @@ pub fn add_bias(a: &mut Matrix, bias: &[f32]) {
 /// Column sums of `a` — the bias gradient in a linear layer.
 pub fn column_sums(a: &Matrix) -> Vec<f32> {
     let mut out = vec![0.0; a.cols()];
-    for row in a.rows_iter() {
-        axpy(1.0, row, &mut out);
-    }
+    column_sums_into(a, &mut out);
     out
+}
+
+/// [`column_sums`] into a caller-owned buffer; allocation-free.
+///
+/// # Panics
+/// Panics if `out.len() != a.cols()`.
+pub fn column_sums_into(a: &Matrix, out: &mut [f32]) {
+    assert_eq!(out.len(), a.cols(), "column_sums_into length mismatch");
+    out.iter_mut().for_each(|x| *x = 0.0);
+    for row in a.rows_iter() {
+        axpy(1.0, row, out);
+    }
 }
 
 /// Divides each row by the corresponding positive scalar in `denoms`;

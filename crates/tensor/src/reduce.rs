@@ -11,36 +11,39 @@ pub fn row_sums(a: &Matrix) -> Vec<f32> {
 /// Per-row index of the maximum element (ties resolve to the first).
 /// Empty rows (cols == 0) yield index 0.
 pub fn row_argmax(a: &Matrix) -> Vec<usize> {
-    a.rows_iter()
-        .map(|row| {
-            row.iter()
-                .enumerate()
-                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                    if v > bv {
-                        (i, v)
-                    } else {
-                        (bi, bv)
-                    }
-                })
-                .0
+    a.rows_iter().map(argmax).collect()
+}
+
+/// Argmax of one row slice (ties resolve to the first element).
+#[inline]
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+            if v > bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
         })
-        .collect()
+        .0
 }
 
 /// Fraction of rows whose argmax equals the label. Rows listed in
 /// `mask` only (e.g. the test split); an empty mask means "all rows".
+/// Allocation-free (argmaxes are computed per masked row, not
+/// materialized), so it is safe on the training hot path.
 pub fn masked_accuracy(logits: &Matrix, labels: &[usize], mask: &[usize]) -> f32 {
     assert_eq!(logits.rows(), labels.len(), "label count mismatch");
-    let preds = row_argmax(logits);
-    let check = |i: &usize| preds[*i] == labels[*i];
+    let check = |i: usize| argmax(logits.row(i)) == labels[i];
     if mask.is_empty() {
         if labels.is_empty() {
             return 0.0;
         }
-        let correct = (0..labels.len()).filter(|i| check(i)).count();
+        let correct = (0..labels.len()).filter(|&i| check(i)).count();
         correct as f32 / labels.len() as f32
     } else {
-        let correct = mask.iter().filter(|i| check(i)).count();
+        let correct = mask.iter().filter(|&&i| check(i)).count();
         correct as f32 / mask.len() as f32
     }
 }

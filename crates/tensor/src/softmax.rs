@@ -11,6 +11,13 @@ pub fn softmax_rows(a: &Matrix) -> Matrix {
     out
 }
 
+/// [`softmax_rows`] into a caller-owned buffer of the same shape;
+/// allocation-free.
+pub fn softmax_rows_into(a: &Matrix, out: &mut Matrix) {
+    out.copy_from(a);
+    softmax_rows_inplace(out);
+}
+
 /// In-place variant of [`softmax_rows`].
 pub fn softmax_rows_inplace(a: &mut Matrix) {
     let cols = a.cols();

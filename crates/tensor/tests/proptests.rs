@@ -1,6 +1,9 @@
 //! Property-based tests for the tensor substrate.
 
-use distgnn_tensor::{matmul, matmul_a_bt, matmul_at_b, softmax, Matrix};
+use distgnn_tensor::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into, softmax,
+    Matrix,
+};
 use proptest::prelude::*;
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -54,6 +57,33 @@ proptest! {
         let c = Matrix::from_fn(n, k, |i, j| ((i + 2 * j) % 5) as f32);
         let abt = matmul_a_bt(&a, &c);
         prop_assert!(abt.approx_eq(&naive_matmul(&a, &c.transpose()), 1e-3));
+    }
+
+    #[test]
+    fn matmul_into_variants_bit_identical_to_allocating(
+        dims in (1usize..10, 1usize..10, 1usize..10),
+        seed in 0u64..1000,
+    ) {
+        // Each `_into` form must produce exactly the allocating form's
+        // bits, even writing over a stale (NaN-poisoned) buffer.
+        let (m, k, n) = dims;
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3 + seed as usize) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 2 + seed as usize) % 13) as f32 - 6.0);
+
+        let mut c = Matrix::full(m, n, f32::NAN);
+        matmul_into(&a, &b, &mut c);
+        prop_assert_eq!(&c, &matmul(&a, &b));
+
+        let bt = Matrix::from_fn(n, k, |i, j| ((i + 2 * j + seed as usize) % 5) as f32);
+        let mut abt = Matrix::full(m, n, f32::NAN);
+        matmul_a_bt_into(&a, &bt, &mut abt);
+        prop_assert_eq!(&abt, &matmul_a_bt(&a, &bt));
+
+        let b2 = Matrix::from_fn(m, n, |i, j| (j as f32) * 0.25 - (i as f32));
+        let mut atb = Matrix::full(k, n, f32::NAN);
+        let mut scratch = vec![f32::NAN; 3];
+        matmul_at_b_into(&a, &b2, &mut atb, &mut scratch);
+        prop_assert_eq!(&atb, &matmul_at_b(&a, &b2));
     }
 
     #[test]

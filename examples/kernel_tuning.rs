@@ -70,7 +70,7 @@ fn main() {
             time(LoopOrder::DestinationMajor),
             t_strips,
         );
-        if best.map_or(true, |(_, t)| t_strips < t) {
+        if best.is_none_or(|(_, t)| t_strips < t) {
             best = Some((n_b, t_strips));
         }
     }

@@ -1,0 +1,212 @@
+//! Offline stand-in for `rand`, implementing the API subset this
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_range, gen_bool}`, and `seq::SliceRandom::shuffle`.
+//!
+//! The generator is SplitMix64 (Steele et al.) — statistically fine for
+//! feature init, synthetic graphs, and shuffles. Streams differ from
+//! the real `rand` crate for the same seed; everything downstream is
+//! seeded and self-consistent, so only cross-crate golden values would
+//! notice.
+
+pub mod rngs {
+    /// Seeded 64-bit generator (SplitMix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(state: u64) -> StdRng {
+            StdRng { state }
+        }
+
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Scramble so nearby seeds give unrelated streams.
+        rngs::StdRng::from_state(seed ^ 0x5851f42d4c957f2d)
+    }
+}
+
+/// Types producible by `Rng::gen()`.
+pub trait Standard: Sized {
+    fn from_rng(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn from_rng(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Standard for bool {
+    fn from_rng(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn from_rng(rng: &mut rngs::StdRng) -> f64 {
+        // 53 random bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn from_rng(rng: &mut rngs::StdRng) -> f32 {
+        // 24 random bits in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges acceptable to `Rng::gen_range()`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Modulo bias is negligible for the graph-scale spans
+                // used here (span << 2^64).
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, i64, i32);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = <$t as Standard>::from_rng(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+pub trait Rng {
+    fn gen<T: Standard>(&mut self) -> T;
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        self.gen::<f64>() < p
+    }
+}
+
+pub mod seq {
+    use super::{rngs::StdRng, Rng};
+
+    pub trait SliceRandom {
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn floats_land_in_range() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen_range(-0.25f32..0.25);
+            assert!((-0.25..0.25).contains(&x));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = rngs::StdRng::seed_from_u64(13);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<usize> = (0..100).collect();
+        let mut rng = rngs::StdRng::seed_from_u64(17);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}

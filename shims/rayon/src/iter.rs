@@ -1,0 +1,366 @@
+//! Indexed parallel iterators over the broadcast pool.
+//!
+//! An iterator here is a cheap, splittable *source*: `len()` items,
+//! each fetched at most once by `get(i)`. Adapters (`zip`, `map`,
+//! `enumerate`) compose sources; terminals (`for_each`, `reduce`,
+//! `collect`) fan the index space out across the pool. `for_each` is
+//! allocation-free, which the zero-allocation epoch path relies on.
+
+use crate::pool::Pool;
+use std::marker::PhantomData;
+
+/// A random-access parallel source.
+///
+/// # Safety
+/// `get(i)` must be called at most once per index per run, with
+/// `i < len()`; disjoint indices must yield non-aliasing items (this is
+/// what lets `ChunksMut` hand out `&mut` slices from a shared `&self`).
+pub unsafe trait ParSource: Send + Sync {
+    type Item: Send;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// # Safety
+    /// See trait docs: unique `i < len()` per run.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+// ---------------------------------------------------------------- sources
+
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+unsafe impl<'a, T: Sync> ParSource for Iter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        unsafe { self.slice.get_unchecked(i) }
+    }
+}
+
+pub struct IterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<'a, T: Send> Send for IterMut<'a, T> {}
+unsafe impl<'a, T: Send> Sync for IterMut<'a, T> {}
+
+unsafe impl<'a, T: Send> ParSource for IterMut<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+unsafe impl<'a, T: Sync> ParSource for Chunks<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk.max(1))
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.slice.len());
+        unsafe { self.slice.get_unchecked(start..end) }
+    }
+}
+
+pub struct ChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<'a, T: Send> Send for ChunksMut<'a, T> {}
+unsafe impl<'a, T: Send> Sync for ChunksMut<'a, T> {}
+
+unsafe impl<'a, T: Send> ParSource for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk.max(1))
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+unsafe impl ParSource for RangeIter {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+    unsafe fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+// --------------------------------------------------------------- adapters
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A: ParSource, B: ParSource> ParSource for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        unsafe { (self.a.get(i), self.b.get(i)) }
+    }
+}
+
+pub struct Enumerate<A> {
+    inner: A,
+}
+
+unsafe impl<A: ParSource> ParSource for Enumerate<A> {
+    type Item = (usize, A::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        unsafe { (i, self.inner.get(i)) }
+    }
+}
+
+pub struct Map<A, F> {
+    inner: A,
+    f: F,
+}
+
+unsafe impl<A, F, R> ParSource for Map<A, F>
+where
+    A: ParSource,
+    F: Fn(A::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn get(&self, i: usize) -> R {
+        (self.f)(unsafe { self.inner.get(i) })
+    }
+}
+
+// -------------------------------------------------------------- terminals
+
+/// Grain for element-fine terminals (reduce/sum over raw floats):
+/// enough indices per cursor pull to amortize the atomic.
+fn reduce_grain(len: usize) -> usize {
+    (len / (Pool::global().num_threads() * 8)).max(1024)
+}
+
+pub trait ParallelIterator: ParSource + Sized {
+    fn zip<B: ParSource>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Runs `op` on every item. Items are pulled one index at a time
+    /// (items are expected to be coarse: rows, chunks, blocks).
+    /// Allocation-free in steady state.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, op: F) {
+        Pool::global().dispatch(self.len(), 1, |start, end| {
+            for i in start..end {
+                op(unsafe { self.get(i) });
+            }
+        });
+    }
+
+    /// `reduce` with an identity constructor, rayon-style.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+        Self::Item: Send,
+    {
+        let acc = std::sync::Mutex::new(identity());
+        Pool::global().dispatch(self.len(), reduce_grain(self.len()), |start, end| {
+            let mut local = identity();
+            for i in start..end {
+                local = op(local, unsafe { self.get(i) });
+            }
+            let mut guard = acc.lock().unwrap();
+            let cur = std::mem::replace(&mut *guard, identity());
+            *guard = op(cur, local);
+        });
+        acc.into_inner().unwrap()
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = std::sync::Mutex::new(Vec::new());
+        Pool::global().dispatch(self.len(), reduce_grain(self.len()), |start, end| {
+            let local: S = (start..end).map(|i| unsafe { self.get(i) }).sum();
+            parts.lock().unwrap().push(local);
+        });
+        parts.into_inner().unwrap().into_iter().sum()
+    }
+
+    /// Collects an exact-size source into a `Vec`, preserving order.
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_parallel(self)
+    }
+
+    /// Exposes `filter`-like behavior eagerly: not supported lazily by
+    /// this shim — collect and filter sequentially instead.
+    fn count(self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: ParSource> ParallelIterator for T {}
+
+pub trait FromParallel<T>: Sized {
+    fn from_parallel<S: ParSource<Item = T>>(source: S) -> Self;
+}
+
+impl<T: Send> FromParallel<T> for Vec<T> {
+    fn from_parallel<S: ParSource<Item = T>>(source: S) -> Vec<T> {
+        let len = source.len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let base = out.as_mut_ptr() as usize;
+        Pool::global().dispatch(len, 1, |start, end| {
+            for i in start..end {
+                unsafe { (base as *mut T).add(i).write(source.get(i)) }
+            }
+        });
+        // Every index in 0..len was written exactly once.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+// -------------------------------------------------------- entry points
+
+pub trait ParSliceExt<T> {
+    fn par_iter(&self) -> Iter<'_, T>;
+    fn par_chunks(&self, chunk: usize) -> Chunks<'_, T>;
+}
+
+impl<T> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+    fn par_chunks(&self, chunk: usize) -> Chunks<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        Chunks { slice: self, chunk }
+    }
+}
+
+pub trait ParSliceMutExt<T> {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T> ParSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData }
+    }
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunksMut { ptr: self.as_mut_ptr(), len: self.len(), chunk, _marker: PhantomData }
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Iter: ParSource;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { start: self.start, end: self.end.max(self.start) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_mut_for_each_writes_all_rows() {
+        let mut data = vec![0.0f32; 37 * 3];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, row)| {
+            row.iter_mut().for_each(|x| *x = i as f32);
+        });
+        for (i, row) in data.chunks(3).enumerate() {
+            assert!(row.iter().all(|&x| x == i as f32), "row {i}");
+        }
+    }
+
+    #[test]
+    fn zip_three_way_matches_sequential() {
+        let mut out = vec![0.0f32; 64 * 4];
+        let src: Vec<f32> = (0..64 * 4).map(|i| i as f32).collect();
+        let scale: Vec<f32> = (0..64).map(|i| (i % 5) as f32).collect();
+        out.par_chunks_mut(4)
+            .zip(src.par_chunks(4))
+            .zip(scale.par_iter())
+            .for_each(|((o, s), &k)| {
+                for (oo, &ss) in o.iter_mut().zip(s) {
+                    *oo = ss * k;
+                }
+            });
+        for i in 0..64 {
+            for j in 0..4 {
+                assert_eq!(out[i * 4 + j], src[i * 4 + j] * (i % 5) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_computes_max() {
+        let v: Vec<f32> = (0..10_000).map(|i| ((i * 37) % 1000) as f32 - 500.0).collect();
+        let got = v.par_iter().map(|x| x.abs()).reduce(|| 0.0, f32::max);
+        let want = v.iter().map(|x| x.abs()).fold(0.0, f32::max);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_mut_gives_each_element_once() {
+        let mut v = vec![1u64; 5000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+}

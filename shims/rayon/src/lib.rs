@@ -1,0 +1,30 @@
+//! Offline stand-in for `rayon`, implementing the API subset this
+//! workspace uses: `par_iter`/`par_iter_mut`/`par_chunks`/
+//! `par_chunks_mut` on slices, `into_par_iter` on `Range<usize>`,
+//! `zip`/`enumerate`/`map` adapters, `for_each`/`reduce`/`sum`/
+//! `collect` terminals, and `current_num_threads`.
+//!
+//! Work runs on a persistent global thread pool (see [`pool`]);
+//! steady-state `for_each` dispatch allocates nothing.
+
+mod iter;
+mod pool;
+
+pub use iter::{
+    Chunks, ChunksMut, Enumerate, FromParallel, IntoParallelIterator, Iter, IterMut, Map,
+    ParSliceExt, ParSliceMutExt, ParSource, ParallelIterator, RangeIter, Zip,
+};
+
+/// Number of threads that cooperate on a parallel job (workers plus the
+/// submitting thread), matching rayon's semantics closely enough for
+/// scheduling heuristics.
+pub fn current_num_threads() -> usize {
+    pool::Pool::global().num_threads()
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, ParSliceExt, ParSliceMutExt, ParallelIterator,
+    };
+    pub use crate::current_num_threads;
+}
