@@ -52,6 +52,7 @@ fn main() {
         epochs: epochs.max(12),
         seed: 0xD157,
         wire_precision: distgnn_core::dist::WirePrecision::Fp32,
+        faults: distgnn_comm::FaultPlan::none(),
     };
     let dist = DistTrainer::run(&ds, &dist_cfg);
 

@@ -3,6 +3,7 @@
 //! Hand-rolled parsing (no external dependency): the CLI surface is
 //! small and stable. Split from `main.rs` so the parser is unit-tested.
 
+use distgnn_comm::FaultPlan;
 use distgnn_core::dist::WirePrecision;
 use distgnn_core::DistMode;
 use distgnn_graph::ScaledConfig;
@@ -20,6 +21,8 @@ pub struct Cli {
     pub wire: WirePrecision,
     pub blocks: Option<usize>,
     pub seed: u64,
+    /// Fault-injection scenario for `dist-train` chaos replays.
+    pub faults: FaultPlan,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +50,7 @@ impl Default for Cli {
             wire: WirePrecision::Fp32,
             blocks: None,
             seed: 0xD15,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -74,6 +78,16 @@ OPTIONS:
     --wire <fp32|bf16|fp16>  aggregate wire format    (default fp32)
     --blocks <usize>     kernel cache blocks n_B      (default auto)
     --seed <u64>         partitioning seed            (default 0xD15)
+    --faults <spec>      fault-injection scenario     (default none)
+
+FAULT SPECS (comma-separated; deterministic per seed):
+    seed=<u64>                  decision seed
+    drop=<p>[:src->dst]         drop messages with probability p
+    delay=<p>x<k>[:src->dst]    deliver k barriers late with probability p
+    reorder=<p>[:src->dst]      swap adjacent messages with probability p
+    stall=<rank>@<from>+<n>     rank sleeps through n epochs from <from>
+    (src/dst are rank numbers or *; e.g.
+     --faults 'seed=42,drop=0.1,delay=0.05x4:0->*,stall=1@5+2')
 ";
 
 /// Parses an argument vector (excluding argv[0]).
@@ -100,6 +114,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--seed" => cli.seed = parse_num(flag, value()?)?,
             "--blocks" => cli.blocks = Some(parse_num(flag, value()?)?),
             "--mode" => cli.mode = parse_mode(value()?)?,
+            "--faults" => cli.faults = FaultPlan::parse(value()?)?,
             "--wire" => {
                 cli.wire = match value()?.as_str() {
                     "fp32" => WirePrecision::Fp32,
@@ -200,6 +215,16 @@ mod tests {
         assert_eq!(parse_mode("cd-5").unwrap(), DistMode::CdR { delay: 5 });
         assert!(parse_mode("cd-x").is_err());
         assert!(parse_mode("sync").is_err());
+    }
+
+    #[test]
+    fn faults_flag_builds_a_plan() {
+        let cli = parse(&argv("dist-train --faults seed=9,drop=0.2,stall=1@3+2")).unwrap();
+        assert_eq!(cli.faults.seed, 9);
+        assert_eq!(cli.faults.drops.len(), 1);
+        assert!(cli.faults.stalled(1, 4));
+        assert!(parse(&argv("dist-train --faults drop=2.0")).is_err());
+        assert!(parse(&argv("dist-train")).unwrap().faults.is_none());
     }
 
     #[test]

@@ -72,13 +72,21 @@ fn dist_train(cli: &Cli) {
     cfg.kernel = kernel(cli, &ds);
     cfg.wire_precision = cli.wire;
     cfg.seed = cli.seed;
+    cfg.faults = cli.faults.clone();
     println!(
-        "mode {}, {} sockets, wire {}",
+        "mode {}, {} sockets, wire {}{}",
         cli.mode.name(),
         cli.sockets,
-        cli.wire.name()
+        cli.wire.name(),
+        if cli.faults.is_none() { "" } else { ", fault injection ON" }
     );
-    let report = DistTrainer::run(&ds, &cfg);
+    let report = match DistTrainer::try_run(&ds, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     for (i, e) in report.epochs.iter().enumerate() {
         if i % 10 == 0 || i + 1 == report.epochs.len() {
             println!(
@@ -96,6 +104,45 @@ fn dist_train(cli: &Cli) {
         report.test_accuracy * 100.0,
         sent as f64 / (1 << 20) as f64
     );
+    print_fault_summary(&report.per_rank_comm);
+}
+
+/// Summarizes fault and staleness accounting over all ranks: dropped /
+/// delayed / reordered / stalled message counts and the histogram of
+/// consumed remote-partial ages (cd-r only — empty otherwise).
+fn print_fault_summary(snaps: &[distgnn_comm::CommSnapshot]) {
+    let dropped: u64 = snaps.iter().map(|s| s.messages_dropped).sum();
+    let delayed: u64 = snaps.iter().map(|s| s.messages_delayed).sum();
+    let reordered: u64 = snaps.iter().map(|s| s.messages_reordered).sum();
+    let stalled: u64 = snaps.iter().map(|s| s.sends_stalled).sum();
+    if dropped + delayed + reordered + stalled > 0 {
+        println!(
+            "faults: {dropped} dropped, {delayed} delayed, {reordered} reordered, \
+             {stalled} stalled sends"
+        );
+    }
+    let samples: u64 = snaps.iter().map(|s| s.staleness_samples()).sum();
+    if samples == 0 {
+        return;
+    }
+    let max = snaps.iter().map(|s| s.max_staleness).max().unwrap_or(0);
+    let violations: u64 = snaps.iter().map(|s| s.staleness_violations).sum();
+    println!("staleness: {samples} consumed partials, max age {max}, {violations} over bound");
+    let top = snaps
+        .iter()
+        .flat_map(|s| s.stale_hist.iter().enumerate())
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, _)| i)
+        .max()
+        .unwrap_or(0);
+    for age in 0..=top {
+        let count: u64 = snaps.iter().map(|s| s.stale_hist[age]).sum();
+        if count > 0 {
+            let bar = "#".repeat(((count * 40).div_ceil(samples)) as usize);
+            println!("  age {age:>2}{} {count:>8} {bar}",
+                if age == distgnn_comm::stats::STALE_BUCKETS - 1 { "+" } else { " " });
+        }
+    }
 }
 
 fn inspect(cli: &Cli) {

@@ -1,14 +1,92 @@
-//! Thread-per-rank SPMD cluster with collectives and tagged mailboxes.
+//! Thread-per-rank SPMD cluster with collectives, tagged mailboxes and
+//! deterministic fault injection.
+//!
+//! Every send/recv consults the run's [`FaultPlan`] (a no-op branch
+//! when the plan is empty). Faults surface as typed [`CommError`]s
+//! rather than panics, so the training layers can abort cleanly: a
+//! missing AlltoAllv payload triggers a *collective* abort — all ranks
+//! return `Err` from the same call, keeping their barrier sequences
+//! aligned (an asymmetric early return would deadlock the next
+//! barrier).
 
+use crate::faults::FaultPlan;
 use crate::stats::{CommSnapshot, CommStats};
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
+
+/// Typed communication failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A payload that must be present (collective slot or demanded
+    /// tagged message) never arrived at `dst`.
+    MissingPayload { src: usize, dst: usize },
+    /// A peer observed a failure and the collective aborted; this rank
+    /// itself saw nothing missing.
+    PeerAborted,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::MissingPayload { src, dst } => {
+                write!(f, "payload from rank {src} never arrived at rank {dst}")
+            }
+            CommError::PeerAborted => write!(f, "a peer aborted the collective"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// One in-flight AlltoAll payload slot.
 type XchgSlot = Mutex<Option<Vec<f32>>>;
-/// One rank's tagged mailbox: tag -> payload.
-type Mailbox = Mutex<HashMap<u64, Vec<f32>>>;
+
+/// A tagged message in flight; `available_at` is the receiver-side
+/// barrier count from which it is visible (0 = immediately, the
+/// fault-free fast path).
+struct Msg {
+    payload: Vec<f32>,
+    available_at: u64,
+}
+
+/// One rank's tagged mailbox: tag -> message.
+type Mailbox = Mutex<HashMap<u64, Msg>>;
+
+/// A link's reorder hold slot: the (tag, message) pair a reorder fault
+/// parked until the next send on the same link overtakes it.
+type HeldSlot = Mutex<Option<(u64, Msg)>>;
+
+/// Mutable fault-injection state for one run.
+struct FaultRuntime {
+    plan: FaultPlan,
+    /// Per-link monotone message counters `[src][dst]`; only the src
+    /// rank's thread bumps a counter, so the sequence each decision
+    /// hashes over is deterministic under any scheduling.
+    counters: Vec<Vec<AtomicU64>>,
+    /// Per-link hold slot for reorder faults: a held message is
+    /// released when the next send on the link overtakes it.
+    held: Vec<Vec<HeldSlot>>,
+    /// Collective-abort flags, one per rank.
+    abort: Vec<AtomicBool>,
+}
+
+impl FaultRuntime {
+    fn new(plan: FaultPlan, size: usize) -> Self {
+        FaultRuntime {
+            plan,
+            counters: (0..size)
+                .map(|_| (0..size).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+            held: (0..size)
+                .map(|_| (0..size).map(|_| Mutex::new(None)).collect())
+                .collect(),
+            abort: (0..size).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+}
 
 /// Shared state of one cluster run.
 struct Shared {
@@ -21,10 +99,12 @@ struct Shared {
     /// Tagged async mailboxes, `tagged[src][dst]`.
     tagged: Vec<Vec<Mailbox>>,
     stats: Vec<CommStats>,
+    /// `None` unless the run injects faults (zero-overhead fast path).
+    faults: Option<FaultRuntime>,
 }
 
 impl Shared {
-    fn new(size: usize) -> Self {
+    fn new(size: usize, plan: &FaultPlan) -> Self {
         Shared {
             size,
             barrier: Barrier::new(size),
@@ -36,6 +116,11 @@ impl Shared {
                 .map(|_| (0..size).map(|_| Mutex::new(HashMap::new())).collect())
                 .collect(),
             stats: (0..size).map(|_| CommStats::new()).collect(),
+            faults: if plan.is_none() {
+                None
+            } else {
+                Some(FaultRuntime::new(plan.clone(), size))
+            },
         }
     }
 }
@@ -51,24 +136,7 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        assert!(num_ranks >= 1, "need at least one rank");
-        let shared = Shared::new(num_ranks);
-        let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(num_ranks);
-            for (rank, slot) in results.iter_mut().enumerate() {
-                let shared = &shared;
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    let mut ctx = RankCtx { rank, shared };
-                    *slot = Some(f(&mut ctx));
-                }));
-            }
-            for h in handles {
-                h.join().expect("rank panicked");
-            }
-        });
-        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        Self::run_inner(num_ranks, &FaultPlan::none(), f).0
     }
 
     /// Like [`Cluster::run`] but also returns the per-rank
@@ -78,8 +146,31 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        assert!(num_ranks >= 1);
-        let shared = Shared::new(num_ranks);
+        Self::run_inner(num_ranks, &FaultPlan::none(), f)
+    }
+
+    /// Runs under a fault-injection plan. With the same `plan` (same
+    /// seed) and the same SPMD program, two runs produce bit-identical
+    /// fault patterns and [`CommSnapshot`]s.
+    pub fn run_with_faults<F, R>(
+        num_ranks: usize,
+        plan: &FaultPlan,
+        f: F,
+    ) -> (Vec<R>, Vec<CommSnapshot>)
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        Self::run_inner(num_ranks, plan, f)
+    }
+
+    fn run_inner<F, R>(num_ranks: usize, plan: &FaultPlan, f: F) -> (Vec<R>, Vec<CommSnapshot>)
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        assert!(num_ranks >= 1, "need at least one rank");
+        let shared = Shared::new(num_ranks, plan);
         let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(num_ranks);
@@ -87,7 +178,12 @@ impl Cluster {
                 let shared = &shared;
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let mut ctx = RankCtx { rank, shared };
+                    let mut ctx = RankCtx {
+                        rank,
+                        shared,
+                        barriers: Cell::new(0),
+                        epoch: Cell::new(0),
+                    };
                     *slot = Some(f(&mut ctx));
                 }));
             }
@@ -107,6 +203,13 @@ impl Cluster {
 pub struct RankCtx<'a> {
     rank: usize,
     shared: &'a Shared,
+    /// Barriers this rank has crossed; ranks are lockstep, so matching
+    /// program points see matching counts — the clock that delay
+    /// faults are expressed in.
+    barriers: Cell<u64>,
+    /// Current training epoch (set by the trainer); the clock that
+    /// stall faults are expressed in.
+    epoch: Cell<u64>,
 }
 
 impl RankCtx<'_> {
@@ -118,13 +221,44 @@ impl RankCtx<'_> {
         self.shared.size
     }
 
+    /// Marks the current training epoch; [`FaultPlan`] stall rules are
+    /// expressed in epochs.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.set(epoch);
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Barriers crossed by this rank so far.
+    pub fn barriers_crossed(&self) -> u64 {
+        self.barriers.get()
+    }
+
+    /// True when this rank is currently asleep under a stall fault.
+    pub fn is_stalled(&self) -> bool {
+        self.shared
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.plan.stalled(self.rank, self.epoch.get()))
+    }
+
     /// Blocks until every rank reaches the barrier.
     pub fn barrier(&self) {
         self.shared.barrier.wait();
+        self.barriers.set(self.barriers.get() + 1);
+    }
+
+    /// Records the age of a consumed remote partial into this rank's
+    /// stats (see [`CommStats::record_staleness`]).
+    pub fn record_staleness(&self, age: u64, bound: u64) {
+        self.shared.stats[self.rank].record_staleness(age, bound);
     }
 
     /// Element-wise sum-AllReduce: after the call, `buf` on every rank
-    /// holds the sum of all ranks' inputs.
+    /// holds the sum of all ranks' inputs. Assumed reliable — fault
+    /// rules do not apply (see the fault model in `faults.rs`).
     ///
     /// # Panics
     /// Panics if buffers disagree in length across ranks.
@@ -159,56 +293,163 @@ impl RankCtx<'_> {
     /// the payloads received from every rank (index = source rank; own
     /// slot is `outgoing[self]` passed through).
     ///
+    /// Under fault injection, a dropped payload or a stalled sender
+    /// surfaces as [`CommError::MissingPayload`] on the receivers and
+    /// [`CommError::PeerAborted`] on everyone else: the abort is
+    /// collective, every rank returns `Err` from the same call.
+    /// Without a fault plan a missing payload (a protocol bug) still
+    /// returns `Err` instead of panicking.
+    ///
     /// # Panics
     /// Panics if `outgoing.len() != size`.
-    pub fn all_to_all_v(&self, outgoing: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    pub fn all_to_all_v(&self, outgoing: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, CommError> {
         let k = self.size();
         assert_eq!(outgoing.len(), k, "need one payload per rank");
+        let faults = self.shared.faults.as_ref();
+        let stalled = self.is_stalled();
+        let stats = &self.shared.stats[self.rank];
         let mut own = None;
         for (dst, payload) in outgoing.into_iter().enumerate() {
             if dst == self.rank {
                 own = Some(payload);
                 continue;
             }
-            self.shared.stats[self.rank].record_send((payload.len() * 4) as u64);
+            let wire = (payload.len() * 4) as u64;
+            if let Some(f) = faults {
+                if stalled {
+                    stats.record_stalled_send();
+                    continue;
+                }
+                let n = f.counters[self.rank][dst].fetch_add(1, Ordering::Relaxed);
+                if f.plan.drop_decision(self.rank, dst, n) {
+                    stats.record_send(wire);
+                    stats.record_dropped();
+                    continue;
+                }
+                // A delayed payload in a blocking rendezvous costs
+                // latency, never correctness: count it, deliver it.
+                if f.plan.delay_decision(self.rank, dst, n) > 0 {
+                    stats.record_delayed();
+                }
+            }
+            stats.record_send(wire);
             *self.shared.xchg[self.rank][dst].lock() = Some(payload);
         }
         self.barrier();
         let mut incoming = Vec::with_capacity(k);
+        let mut missing = None;
         for src in 0..k {
             if src == self.rank {
                 incoming.push(own.take().unwrap_or_default());
                 continue;
             }
-            let payload = self.shared.xchg[src][self.rank]
-                .lock()
-                .take()
-                .expect("peer must post its payload before the barrier");
-            self.shared.stats[self.rank].record_recv((payload.len() * 4) as u64);
-            incoming.push(payload);
+            match self.shared.xchg[src][self.rank].lock().take() {
+                Some(payload) => {
+                    stats.record_recv((payload.len() * 4) as u64);
+                    incoming.push(payload);
+                }
+                None => {
+                    missing.get_or_insert(CommError::MissingPayload { src, dst: self.rank });
+                    incoming.push(Vec::new());
+                }
+            }
         }
-        self.barrier();
-        incoming
+        if let Some(f) = faults {
+            // Collective abort agreement: every rank learns whether
+            // anyone saw a missing payload and takes the same branch,
+            // keeping barrier sequences aligned across ranks.
+            if missing.is_some() {
+                f.abort[self.rank].store(true, Ordering::SeqCst);
+            }
+            self.barrier();
+            let any = f.abort.iter().any(|a| a.load(Ordering::SeqCst));
+            self.barrier();
+            f.abort[self.rank].store(false, Ordering::SeqCst);
+            if any {
+                return Err(missing.unwrap_or(CommError::PeerAborted));
+            }
+        } else {
+            self.barrier();
+            if let Some(e) = missing {
+                return Err(e);
+            }
+        }
+        Ok(incoming)
     }
 
     /// Posts `payload` for `dst` under `tag` without blocking. The
     /// `cd-r` algorithm tags with the sending epoch; the receiver asks
-    /// for the tag `r` epochs later.
+    /// for the tag `r` epochs later. Fault rules (stall, drop, delay,
+    /// reorder) apply here.
     pub fn send_tagged(&self, dst: usize, tag: u64, payload: Vec<f32>) {
         assert!(dst < self.size(), "destination out of range");
-        self.shared.stats[self.rank].record_send((payload.len() * 4) as u64);
-        self.shared.tagged[self.rank][dst].lock().insert(tag, payload);
+        let stats = &self.shared.stats[self.rank];
+        let wire = (payload.len() * 4) as u64;
+        let Some(f) = self.shared.faults.as_ref() else {
+            stats.record_send(wire);
+            self.shared.tagged[self.rank][dst]
+                .lock()
+                .insert(tag, Msg { payload, available_at: 0 });
+            return;
+        };
+        // Release any message held for reordering on this link: this
+        // send has now overtaken it.
+        let now = self.barriers.get();
+        if let Some((held_tag, mut held)) = f.held[self.rank][dst].lock().take() {
+            held.available_at = held.available_at.max(now);
+            self.shared.tagged[self.rank][dst].lock().insert(held_tag, held);
+        }
+        if f.plan.stalled(self.rank, self.epoch.get()) {
+            stats.record_stalled_send();
+            return;
+        }
+        let n = f.counters[self.rank][dst].fetch_add(1, Ordering::Relaxed);
+        stats.record_send(wire);
+        if f.plan.drop_decision(self.rank, dst, n) {
+            stats.record_dropped();
+            return;
+        }
+        let delay = f.plan.delay_decision(self.rank, dst, n);
+        if delay > 0 {
+            stats.record_delayed();
+        }
+        let msg = Msg { payload, available_at: now + delay };
+        if f.plan.reorder_decision(self.rank, dst, n) {
+            stats.record_reordered();
+            *f.held[self.rank][dst].lock() = Some((tag, msg));
+        } else {
+            self.shared.tagged[self.rank][dst].lock().insert(tag, msg);
+        }
     }
 
-    /// Retrieves (and removes) the payload `src` posted under `tag`,
-    /// if it has arrived.
+    /// Retrieves (and removes) the payload `src` posted under `tag`, if
+    /// it has arrived *and is visible*: a delay-faulted message stays
+    /// invisible until enough barriers have passed, and a stalled rank
+    /// picks nothing up.
     pub fn try_recv_tagged(&self, src: usize, tag: u64) -> Option<Vec<f32>> {
         assert!(src < self.size(), "source out of range");
-        let payload = self.shared.tagged[src][self.rank].lock().remove(&tag);
-        if let Some(p) = &payload {
-            self.shared.stats[self.rank].record_recv((p.len() * 4) as u64);
+        if self.is_stalled() {
+            return None;
         }
-        payload
+        let mut mailbox = self.shared.tagged[src][self.rank].lock();
+        let visible = mailbox
+            .get(&tag)
+            .is_some_and(|m| m.available_at <= self.barriers.get());
+        if !visible {
+            return None;
+        }
+        let msg = mailbox.remove(&tag).expect("visibility checked under the lock");
+        drop(mailbox);
+        self.shared.stats[self.rank].record_recv((msg.payload.len() * 4) as u64);
+        Some(msg.payload)
+    }
+
+    /// Like [`RankCtx::try_recv_tagged`] but for protocol points where
+    /// the message *must* have arrived: absence is a typed error, not a
+    /// panic.
+    pub fn recv_tagged(&self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
+        self.try_recv_tagged(src, tag)
+            .ok_or(CommError::MissingPayload { src, dst: self.rank })
     }
 
     /// This rank's communication counters.
@@ -271,7 +512,7 @@ mod tests {
             let outgoing: Vec<Vec<f32>> = (0..3)
                 .map(|dst| vec![(ctx.rank() * 10 + dst) as f32])
                 .collect();
-            ctx.all_to_all_v(outgoing)
+            ctx.all_to_all_v(outgoing).expect("no faults")
         });
         // Rank d receives from src s the value s*10 + d.
         for (d, incoming) in out.iter().enumerate() {
@@ -285,7 +526,7 @@ mod tests {
     fn all_to_all_with_empty_payloads() {
         let out = Cluster::run(2, |ctx| {
             let outgoing = vec![Vec::new(), Vec::new()];
-            ctx.all_to_all_v(outgoing)
+            ctx.all_to_all_v(outgoing).expect("no faults")
         });
         assert!(out.iter().all(|inc| inc.iter().all(Vec::is_empty)));
     }
@@ -299,7 +540,7 @@ mod tests {
             assert!(ctx.try_recv_tagged(peer, 99).is_none());
             ctx.barrier();
             // Epoch 2 (delay r = 2): pick up tag 0.
-            let got = ctx.try_recv_tagged(peer, 0).expect("delayed payload");
+            let got = ctx.recv_tagged(peer, 0).expect("delayed payload");
             // Message is consumed.
             assert!(ctx.try_recv_tagged(peer, 0).is_none());
             got[0]
@@ -313,7 +554,7 @@ mod tests {
             let mut buf = vec![0.0f32; 8];
             ctx.all_reduce_sum(&mut buf);
             let out = vec![vec![1.0; 4], vec![2.0; 4]];
-            ctx.all_to_all_v(out);
+            ctx.all_to_all_v(out).expect("no faults");
         });
         for s in snaps {
             assert_eq!(s.bytes_sent, 8 * 4 + 4 * 4);
@@ -336,9 +577,176 @@ mod tests {
     }
 }
 
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    /// Satellite: a late peer surfaces a typed error instead of
+    /// aborting the process. The delay fault makes the message
+    /// invisible at its pickup point; `recv_tagged` reports it.
+    #[test]
+    fn late_tagged_peer_surfaces_error_not_panic() {
+        let plan = FaultPlan::none().with_seed(11).with_delay(1.0, 1000);
+        let (out, snaps) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send_tagged(peer, 7, vec![1.0]);
+            ctx.barrier();
+            ctx.recv_tagged(peer, 7)
+        });
+        for (dst, r) in out.iter().enumerate() {
+            assert_eq!(*r, Err(CommError::MissingPayload { src: 1 - dst, dst }));
+        }
+        assert!(snaps.iter().all(|s| s.messages_delayed == 1));
+    }
+
+    #[test]
+    fn delayed_message_becomes_visible_after_enough_barriers() {
+        let plan = FaultPlan::none().with_seed(5).with_delay(1.0, 3);
+        let (out, _) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send_tagged(peer, 1, vec![2.5]);
+            ctx.barrier();
+            let early = ctx.try_recv_tagged(peer, 1);
+            ctx.barrier();
+            ctx.barrier();
+            ctx.barrier();
+            let late = ctx.try_recv_tagged(peer, 1);
+            (early, late)
+        });
+        for (early, late) in out {
+            assert!(early.is_none(), "message visible too early");
+            assert_eq!(late, Some(vec![2.5]));
+        }
+    }
+
+    #[test]
+    fn dropped_tagged_message_never_arrives_and_is_counted() {
+        let plan = FaultPlan::none().with_seed(2).with_drop(1.0);
+        let (out, snaps) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send_tagged(peer, 3, vec![1.0, 2.0]);
+            ctx.barrier();
+            ctx.try_recv_tagged(peer, 3)
+        });
+        assert!(out.iter().all(Option::is_none));
+        for s in snaps {
+            assert_eq!(s.messages_dropped, 1);
+            assert_eq!(s.bytes_received, 0);
+        }
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_availability() {
+        let plan = FaultPlan::none().with_seed(4).with_reorder(1.0);
+        let (out, snaps) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send_tagged(peer, 1, vec![1.0]); // held
+            let before = ctx.try_recv_tagged(peer, 1);
+            ctx.barrier();
+            ctx.send_tagged(peer, 2, vec![2.0]); // releases 1, held itself
+            ctx.barrier();
+            let first = ctx.try_recv_tagged(peer, 1);
+            let second = ctx.try_recv_tagged(peer, 2);
+            (before, first, second)
+        });
+        for (before, first, second) in out {
+            assert!(before.is_none(), "held message leaked early");
+            assert_eq!(first, Some(vec![1.0]));
+            assert!(second.is_none(), "overtaking message should itself be held");
+        }
+        assert!(snaps.iter().all(|s| s.messages_reordered == 2));
+    }
+
+    /// Satellite: a missing AlltoAllv payload is a typed error on every
+    /// rank — the collective aborts together instead of deadlocking.
+    #[test]
+    fn dropped_collective_payload_aborts_all_ranks() {
+        let plan = FaultPlan::none().with_seed(9).with_drop(1.0);
+        let (out, _) = Cluster::run_with_faults(3, &plan, |ctx| {
+            let outgoing = (0..3).map(|d| vec![d as f32]).collect();
+            ctx.all_to_all_v(outgoing)
+        });
+        for r in &out {
+            assert!(r.is_err(), "every rank must see the collective abort");
+        }
+        assert!(out
+            .iter()
+            .any(|r| matches!(r, Err(CommError::MissingPayload { .. }))));
+    }
+
+    #[test]
+    fn stalled_rank_suppresses_sends_and_peers_get_typed_error() {
+        let plan = FaultPlan::none().with_seed(1).with_stall(1, 0, 1);
+        let (out, snaps) = Cluster::run_with_faults(3, &plan, |ctx| {
+            ctx.set_epoch(0);
+            let outgoing = (0..3).map(|d| vec![d as f32]).collect();
+            ctx.all_to_all_v(outgoing)
+        });
+        assert_eq!(
+            out[0],
+            Err(CommError::MissingPayload { src: 1, dst: 0 }),
+            "rank 0 misses the stalled rank's payload"
+        );
+        assert_eq!(out[2], Err(CommError::MissingPayload { src: 1, dst: 2 }));
+        assert_eq!(out[1], Err(CommError::PeerAborted), "the stalled rank aborts with its peers");
+        assert_eq!(snaps[1].sends_stalled, 2);
+    }
+
+    #[test]
+    fn stall_window_passes_and_collectives_recover() {
+        let plan = FaultPlan::none().with_seed(1).with_stall(0, 0, 2);
+        let (out, _) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let mut results = Vec::new();
+            for e in 0..3u64 {
+                ctx.set_epoch(e);
+                let outgoing = (0..2).map(|d| vec![d as f32]).collect();
+                results.push(ctx.all_to_all_v(outgoing).is_ok());
+            }
+            results
+        });
+        for r in out {
+            assert_eq!(r, vec![false, false, true], "epoch 2 is past the stall window");
+        }
+    }
+
+    #[test]
+    fn same_plan_gives_bit_identical_snapshots() {
+        let plan = FaultPlan::none().with_seed(77).with_drop(0.4).with_delay(0.3, 2);
+        let program = |ctx: &mut RankCtx| {
+            let peer = (ctx.rank() + 1) % ctx.size();
+            for t in 0..50u64 {
+                ctx.send_tagged(peer, t, vec![t as f32; 8]);
+                ctx.barrier();
+                let from = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                let _ = ctx.try_recv_tagged(from, t);
+            }
+        };
+        let (_, a) = Cluster::run_with_faults(4, &plan, program);
+        let (_, b) = Cluster::run_with_faults(4, &plan, program);
+        assert_eq!(a, b, "same seed must reproduce the same snapshots");
+        let (_, c) =
+            Cluster::run_with_faults(4, &plan.clone().with_seed(78), program);
+        assert_ne!(a, c, "a different seed should perturb the fault pattern");
+    }
+
+    #[test]
+    fn empty_plan_behaves_like_no_faults() {
+        let (a, sa) = Cluster::run_with_faults(2, &FaultPlan::none(), |ctx| {
+            let out = vec![vec![1.0; 4], vec![2.0; 4]];
+            ctx.all_to_all_v(out).expect("no faults").len()
+        });
+        let (b, sb) = Cluster::run_with_stats(2, |ctx| {
+            let out = vec![vec![1.0; 4], vec![2.0; 4]];
+            ctx.all_to_all_v(out).expect("no faults").len()
+        });
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+}
+
 impl RankCtx<'_> {
     /// Broadcast from `root`: after the call every rank's `buf` equals
-    /// the root's input.
+    /// the root's input. Assumed reliable (see `faults.rs`).
     ///
     /// # Panics
     /// Panics if buffer lengths disagree or `root` is out of range.
@@ -362,7 +770,8 @@ impl RankCtx<'_> {
     }
 
     /// Gathers every rank's `buf` to `root`, which receives them in
-    /// rank order; other ranks receive an empty vec.
+    /// rank order; other ranks receive an empty vec. Assumed reliable
+    /// (see `faults.rs`).
     pub fn gather(&self, buf: &[f32], root: usize) -> Vec<Vec<f32>> {
         assert!(root < self.size(), "root out of range");
         *self.shared.reduce[self.rank].lock() = buf.to_vec();

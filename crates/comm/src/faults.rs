@@ -1,0 +1,399 @@
+//! Deterministic, seed-reproducible fault injection for the simulated
+//! cluster.
+//!
+//! A [`FaultPlan`] describes *which* messages misbehave; the cluster
+//! consults it on every send/recv/barrier. Every decision is a pure
+//! function of `(seed, fault kind, src, dst, per-link message index)`,
+//! so two runs with the same plan produce bit-identical fault patterns
+//! and bit-identical [`crate::stats::CommSnapshot`]s — regardless of
+//! thread scheduling. `FaultPlan::none()` costs one `Option` branch per
+//! communication call.
+//!
+//! Fault semantics (see DESIGN.md "Fault model"):
+//!
+//! - **drop** — a tagged message vanishes in flight; an AlltoAllv
+//!   payload never reaches its slot, which surfaces as
+//!   [`crate::cluster::CommError::MissingPayload`] on the receiver.
+//! - **delay** — a tagged message becomes visible to the receiver only
+//!   `k` barrier crossings after it was sent; if the receiver's single
+//!   pickup point has already passed, the delay degenerates to a drop.
+//!   Collectives are blocking rendezvous, so a delayed collective
+//!   payload only costs (simulated) latency, never correctness.
+//! - **reorder** — a tagged message is held back until the *next* send
+//!   on the same link, swapping the availability order of adjacent
+//!   messages.
+//! - **stall** — a rank sleeps through `[from, from + epochs)` training
+//!   epochs: its outgoing clone-sync traffic (tagged and AlltoAllv) is
+//!   suppressed and it picks up no tagged messages while asleep.
+//!
+//! The parameter AllReduce (and broadcast/gather) is assumed reliable:
+//! the paper's gradient sync is a blocking OneCCL collective, and
+//! losing contributions there silently desynchronizes replicas — a
+//! different failure class from the DRPA exchange this layer models.
+
+/// Endpoint pattern for a link rule: a concrete rank or the `*`
+/// wildcard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankPat {
+    Any,
+    Rank(usize),
+}
+
+impl RankPat {
+    fn matches(&self, r: usize) -> bool {
+        match self {
+            RankPat::Any => true,
+            RankPat::Rank(x) => *x == r,
+        }
+    }
+}
+
+/// Drops messages on matching links with probability `prob`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DropRule {
+    pub src: RankPat,
+    pub dst: RankPat,
+    pub prob: f64,
+}
+
+/// Delays messages on matching links by `barriers` barrier crossings
+/// with probability `prob`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayRule {
+    pub src: RankPat,
+    pub dst: RankPat,
+    pub prob: f64,
+    pub barriers: u64,
+}
+
+/// Holds a message back until the next send on the same link with
+/// probability `prob`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReorderRule {
+    pub src: RankPat,
+    pub dst: RankPat,
+    pub prob: f64,
+}
+
+/// Rank `rank` sleeps through epochs `[from, from + epochs)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallRule {
+    pub rank: usize,
+    pub from: u64,
+    pub epochs: u64,
+}
+
+/// A deterministic chaos scenario for one cluster run.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub drops: Vec<DropRule>,
+    pub delays: Vec<DelayRule>,
+    pub reorders: Vec<ReorderRule>,
+    pub stalls: Vec<StallRule>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero overhead beyond one branch.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.drops.is_empty()
+            && self.delays.is_empty()
+            && self.reorders.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Uniform drop probability on every link.
+    pub fn with_drop(mut self, prob: f64) -> Self {
+        self.drops.push(DropRule { src: RankPat::Any, dst: RankPat::Any, prob });
+        self
+    }
+
+    /// Uniform delay (`barriers` late) probability on every link.
+    pub fn with_delay(mut self, prob: f64, barriers: u64) -> Self {
+        self.delays.push(DelayRule { src: RankPat::Any, dst: RankPat::Any, prob, barriers });
+        self
+    }
+
+    /// Uniform reorder probability on every link.
+    pub fn with_reorder(mut self, prob: f64) -> Self {
+        self.reorders.push(ReorderRule { src: RankPat::Any, dst: RankPat::Any, prob });
+        self
+    }
+
+    /// Rank `rank` sleeps through `epochs` epochs starting at `from`.
+    pub fn with_stall(mut self, rank: usize, from: u64, epochs: u64) -> Self {
+        self.stalls.push(StallRule { rank, from, epochs });
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// True when `rank` is asleep at `epoch`.
+    pub fn stalled(&self, rank: usize, epoch: u64) -> bool {
+        self.stalls
+            .iter()
+            .any(|s| s.rank == rank && epoch >= s.from && epoch < s.from + s.epochs)
+    }
+
+    /// Should the `n`-th message on link `src -> dst` be dropped?
+    pub fn drop_decision(&self, src: usize, dst: usize, n: u64) -> bool {
+        first_match(&self.drops, src, dst, |r| (r.src, r.dst, r.prob))
+            .map(|p| chance(self.seed, SALT_DROP, src, dst, n) < p)
+            .unwrap_or(false)
+    }
+
+    /// Barriers of extra delay for the `n`-th message on `src -> dst`
+    /// (0 = on time).
+    pub fn delay_decision(&self, src: usize, dst: usize, n: u64) -> u64 {
+        self.delays
+            .iter()
+            .find(|r| r.src.matches(src) && r.dst.matches(dst))
+            .map(|r| {
+                if chance(self.seed, SALT_DELAY, src, dst, n) < r.prob {
+                    r.barriers
+                } else {
+                    0
+                }
+            })
+            .unwrap_or(0)
+    }
+
+    /// Should the `n`-th message on `src -> dst` be held back until the
+    /// next send on the link?
+    pub fn reorder_decision(&self, src: usize, dst: usize, n: u64) -> bool {
+        first_match(&self.reorders, src, dst, |r| (r.src, r.dst, r.prob))
+            .map(|p| chance(self.seed, SALT_REORDER, src, dst, n) < p)
+            .unwrap_or(false)
+    }
+
+    /// Parses a compact scenario spec, the `--faults` CLI syntax:
+    ///
+    /// ```text
+    /// spec    := item (',' item)*
+    /// item    := 'seed=' u64
+    ///          | 'drop=' prob link?                 drop=0.1  drop=0.3:1->*
+    ///          | 'delay=' prob 'x' barriers link?   delay=0.05x4
+    ///          | 'reorder=' prob link?              reorder=0.2:*->0
+    ///          | 'stall=' rank '@' from '+' epochs  stall=1@5+2
+    /// link    := ':' pat '->' pat                   pat := '*' | rank
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, val) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault item `{item}` is not key=value"))?;
+            match key {
+                "seed" => {
+                    plan.seed = val
+                        .parse()
+                        .map_err(|_| format!("invalid fault seed `{val}`"))?;
+                }
+                "drop" => {
+                    let (prob, src, dst) = parse_prob_link(val)?;
+                    plan.drops.push(DropRule { src, dst, prob });
+                }
+                "reorder" => {
+                    let (prob, src, dst) = parse_prob_link(val)?;
+                    plan.reorders.push(ReorderRule { src, dst, prob });
+                }
+                "delay" => {
+                    let (head, src, dst) = split_link(val)?;
+                    let (p, b) = head
+                        .split_once('x')
+                        .ok_or_else(|| format!("delay `{head}` wants prob x barriers"))?;
+                    plan.delays.push(DelayRule {
+                        src,
+                        dst,
+                        prob: parse_prob(p)?,
+                        barriers: b
+                            .parse()
+                            .map_err(|_| format!("invalid delay barriers `{b}`"))?,
+                    });
+                }
+                "stall" => {
+                    let (rank, rest) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("stall `{val}` wants rank@from+epochs"))?;
+                    let (from, epochs) = rest
+                        .split_once('+')
+                        .ok_or_else(|| format!("stall `{val}` wants rank@from+epochs"))?;
+                    plan.stalls.push(StallRule {
+                        rank: rank
+                            .parse()
+                            .map_err(|_| format!("invalid stall rank `{rank}`"))?,
+                        from: from
+                            .parse()
+                            .map_err(|_| format!("invalid stall epoch `{from}`"))?,
+                        epochs: epochs
+                            .parse()
+                            .map_err(|_| format!("invalid stall length `{epochs}`"))?,
+                    });
+                }
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn first_match<R: Copy>(
+    rules: &[R],
+    src: usize,
+    dst: usize,
+    parts: impl Fn(R) -> (RankPat, RankPat, f64),
+) -> Option<f64> {
+    rules.iter().copied().find_map(|r| {
+        let (s, d, p) = parts(r);
+        (s.matches(src) && d.matches(dst)).then_some(p)
+    })
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let p: f64 = s.parse().map_err(|_| format!("invalid probability `{s}`"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability `{s}` out of [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn parse_pat(s: &str) -> Result<RankPat, String> {
+    if s == "*" {
+        Ok(RankPat::Any)
+    } else {
+        s.parse().map(RankPat::Rank).map_err(|_| format!("invalid rank pattern `{s}`"))
+    }
+}
+
+/// Splits `head[:src->dst]`, defaulting the link to `*->*`.
+fn split_link(val: &str) -> Result<(&str, RankPat, RankPat), String> {
+    match val.split_once(':') {
+        None => Ok((val, RankPat::Any, RankPat::Any)),
+        Some((head, link)) => {
+            let (s, d) = link
+                .split_once("->")
+                .ok_or_else(|| format!("link `{link}` wants src->dst"))?;
+            Ok((head, parse_pat(s)?, parse_pat(d)?))
+        }
+    }
+}
+
+fn parse_prob_link(val: &str) -> Result<(f64, RankPat, RankPat), String> {
+    let (head, src, dst) = split_link(val)?;
+    Ok((parse_prob(head)?, src, dst))
+}
+
+const SALT_DROP: u64 = 0xD20B;
+const SALT_DELAY: u64 = 0xDE1A;
+const SALT_REORDER: u64 = 0x2E02;
+
+/// SplitMix64 finalizer over the decision coordinates; uniform in
+/// [0, 1) and independent across (salt, src, dst, n).
+fn chance(seed: u64, salt: u64, src: usize, dst: usize, n: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(salt)
+        .wrapping_add((src as u64) << 32 | dst as u64)
+        .wrapping_add(n.wrapping_mul(0x9e3779b97f4a7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty_and_cheap() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(!p.drop_decision(0, 1, 0));
+        assert_eq!(p.delay_decision(0, 1, 0), 0);
+        assert!(!p.reorder_decision(0, 1, 0));
+        assert!(!p.stalled(0, 0));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::none().with_seed(7).with_drop(0.5);
+        let b = FaultPlan::none().with_seed(7).with_drop(0.5);
+        let c = FaultPlan::none().with_seed(8).with_drop(0.5);
+        let pat = |p: &FaultPlan| -> Vec<bool> {
+            (0..64).map(|n| p.drop_decision(1, 2, n)).collect()
+        };
+        assert_eq!(pat(&a), pat(&b));
+        assert_ne!(pat(&a), pat(&c), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let p = FaultPlan::none().with_seed(3).with_drop(0.3);
+        let hits = (0..10_000).filter(|&n| p.drop_decision(0, 1, n)).count();
+        assert!((2_500..3_500).contains(&hits), "rate {hits}/10000 far from 0.3");
+    }
+
+    #[test]
+    fn link_rules_scope_to_matching_endpoints() {
+        let p = FaultPlan {
+            seed: 1,
+            drops: vec![DropRule { src: RankPat::Rank(1), dst: RankPat::Any, prob: 1.0 }],
+            ..FaultPlan::none()
+        };
+        assert!(p.drop_decision(1, 0, 0));
+        assert!(p.drop_decision(1, 3, 5));
+        assert!(!p.drop_decision(0, 1, 0));
+    }
+
+    #[test]
+    fn stall_covers_half_open_epoch_range() {
+        let p = FaultPlan::none().with_stall(2, 5, 3);
+        assert!(!p.stalled(2, 4));
+        assert!(p.stalled(2, 5));
+        assert!(p.stalled(2, 7));
+        assert!(!p.stalled(2, 8));
+        assert!(!p.stalled(1, 6));
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse("seed=42, drop=0.1, delay=0.05x4:0->*, stall=1@5+2, reorder=0.2:*->3")
+            .unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.drops, vec![DropRule { src: RankPat::Any, dst: RankPat::Any, prob: 0.1 }]);
+        assert_eq!(
+            p.delays,
+            vec![DelayRule { src: RankPat::Rank(0), dst: RankPat::Any, prob: 0.05, barriers: 4 }]
+        );
+        assert_eq!(p.stalls, vec![StallRule { rank: 1, from: 5, epochs: 2 }]);
+        assert_eq!(
+            p.reorders,
+            vec![ReorderRule { src: RankPat::Any, dst: RankPat::Rank(3), prob: 0.2 }]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("delay=0.1").is_err());
+        assert!(FaultPlan::parse("stall=1@5").is_err());
+        assert!(FaultPlan::parse("jitter=0.1").is_err());
+        assert!(FaultPlan::parse("drop=0.1:a->b").is_err());
+    }
+
+    #[test]
+    fn parse_empty_is_none() {
+        assert!(FaultPlan::parse("").unwrap().is_none());
+        assert!(FaultPlan::parse("seed=9").unwrap().is_none());
+    }
+}

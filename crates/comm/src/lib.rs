@@ -21,10 +21,19 @@
 //! communication volumes into projected communication time; the
 //! scaling figures combine both.
 
+//! A deterministic fault-injection layer ([`faults::FaultPlan`],
+//! [`cluster::Cluster::run_with_faults`]) can drop, delay, or reorder
+//! messages and stall ranks; failures surface as typed
+//! [`cluster::CommError`]s instead of panics, and every fault decision
+//! is a pure function of the plan's seed, so chaos runs replay
+//! bit-identically.
+
 pub mod cluster;
+pub mod faults;
 pub mod netmodel;
 pub mod stats;
 
-pub use cluster::{Cluster, RankCtx};
+pub use cluster::{Cluster, CommError, RankCtx};
+pub use faults::FaultPlan;
 pub use netmodel::NetworkModel;
-pub use stats::CommStats;
+pub use stats::{CommSnapshot, CommStats};

@@ -2,6 +2,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Buckets in the staleness histogram: exact counts for ages
+/// `0..STALE_BUCKETS-1`, the last bucket saturates.
+pub const STALE_BUCKETS: usize = 32;
+
 /// Byte and message counters for one rank. All methods are thread-safe;
 /// the cluster shares one `CommStats` per rank across collectives.
 #[derive(Debug, Default)]
@@ -9,6 +13,16 @@ pub struct CommStats {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     messages_sent: AtomicU64,
+    // Fault-injection accounting (all zero without a FaultPlan).
+    messages_dropped: AtomicU64,
+    messages_delayed: AtomicU64,
+    messages_reordered: AtomicU64,
+    sends_stalled: AtomicU64,
+    // cd-r staleness accounting (epochs of age of consumed remote
+    // partials, recorded by the DRPA layer).
+    max_staleness: AtomicU64,
+    staleness_violations: AtomicU64,
+    stale_hist: [AtomicU64; STALE_BUCKETS],
 }
 
 impl CommStats {
@@ -25,6 +39,39 @@ impl CommStats {
         self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// A message of this rank's vanished in flight (drop fault).
+    pub fn record_dropped(&self) {
+        self.messages_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A message of this rank's was delivered late (delay fault).
+    pub fn record_delayed(&self) {
+        self.messages_delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A message of this rank's was overtaken by its successor
+    /// (reorder fault).
+    pub fn record_reordered(&self) {
+        self.messages_reordered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A send was suppressed because this rank is stalled.
+    pub fn record_stalled_send(&self) {
+        self.sends_stalled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the age (in epochs) of a consumed remote partial; ages
+    /// above `bound` count as staleness violations. The DRPA layer
+    /// calls this with `bound = 2r` (Alg. 4's worst-case freshness).
+    pub fn record_staleness(&self, age: u64, bound: u64) {
+        self.max_staleness.fetch_max(age, Ordering::Relaxed);
+        let bucket = (age as usize).min(STALE_BUCKETS - 1);
+        self.stale_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        if age > bound {
+            self.staleness_violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
     }
@@ -39,20 +86,50 @@ impl CommStats {
 
     /// Plain-data snapshot for reporting.
     pub fn snapshot(&self) -> CommSnapshot {
+        let mut stale_hist = [0u64; STALE_BUCKETS];
+        for (dst, src) in stale_hist.iter_mut().zip(&self.stale_hist) {
+            *dst = src.load(Ordering::Relaxed);
+        }
         CommSnapshot {
             bytes_sent: self.bytes_sent(),
             bytes_received: self.bytes_received(),
             messages_sent: self.messages_sent(),
+            messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
+            messages_delayed: self.messages_delayed.load(Ordering::Relaxed),
+            messages_reordered: self.messages_reordered.load(Ordering::Relaxed),
+            sends_stalled: self.sends_stalled.load(Ordering::Relaxed),
+            max_staleness: self.max_staleness.load(Ordering::Relaxed),
+            staleness_violations: self.staleness_violations.load(Ordering::Relaxed),
+            stale_hist,
         }
     }
 }
 
-/// Copyable snapshot of [`CommStats`].
+/// Copyable snapshot of [`CommStats`]. `Eq` is deliberate: the chaos
+/// test suite asserts that two runs under the same seeded `FaultPlan`
+/// produce bit-identical snapshots (determinism proof).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommSnapshot {
     pub bytes_sent: u64,
     pub bytes_received: u64,
     pub messages_sent: u64,
+    pub messages_dropped: u64,
+    pub messages_delayed: u64,
+    pub messages_reordered: u64,
+    pub sends_stalled: u64,
+    /// Maximum age (epochs) of any consumed remote partial aggregate.
+    pub max_staleness: u64,
+    /// Consumed partials older than the schedule's freshness bound.
+    pub staleness_violations: u64,
+    /// Histogram of consumed-partial ages; last bucket saturates.
+    pub stale_hist: [u64; STALE_BUCKETS],
+}
+
+impl CommSnapshot {
+    /// Total consumed remote partials (histogram mass).
+    pub fn staleness_samples(&self) -> u64 {
+        self.stale_hist.iter().sum()
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +163,50 @@ mod tests {
         });
         assert_eq!(s.bytes_sent(), 8000);
         assert_eq!(s.messages_sent(), 8000);
+    }
+
+    #[test]
+    fn fault_counters_flow_into_snapshot() {
+        let s = CommStats::new();
+        s.record_dropped();
+        s.record_delayed();
+        s.record_delayed();
+        s.record_reordered();
+        s.record_stalled_send();
+        let snap = s.snapshot();
+        assert_eq!(snap.messages_dropped, 1);
+        assert_eq!(snap.messages_delayed, 2);
+        assert_eq!(snap.messages_reordered, 1);
+        assert_eq!(snap.sends_stalled, 1);
+    }
+
+    #[test]
+    fn staleness_tracks_max_hist_and_violations() {
+        let s = CommStats::new();
+        s.record_staleness(2, 4);
+        s.record_staleness(4, 4);
+        s.record_staleness(7, 4);
+        s.record_staleness(500, 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.max_staleness, 500);
+        assert_eq!(snap.staleness_violations, 2);
+        assert_eq!(snap.stale_hist[2], 1);
+        assert_eq!(snap.stale_hist[4], 1);
+        assert_eq!(snap.stale_hist[7], 1);
+        assert_eq!(snap.stale_hist[STALE_BUCKETS - 1], 1);
+        assert_eq!(snap.staleness_samples(), 4);
+    }
+
+    #[test]
+    fn snapshots_compare_bit_identical() {
+        let a = CommStats::new();
+        let b = CommStats::new();
+        for s in [&a, &b] {
+            s.record_send(8);
+            s.record_staleness(3, 4);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        b.record_dropped();
+        assert_ne!(a.snapshot(), b.snapshot());
     }
 }

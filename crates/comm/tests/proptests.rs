@@ -39,7 +39,7 @@ proptest! {
             let outgoing: Vec<Vec<f32>> = (0..ranks)
                 .map(|dst| vec![(ctx.rank() * 100 + dst) as f32; payload_len])
                 .collect();
-            ctx.all_to_all_v(outgoing)
+            ctx.all_to_all_v(outgoing).expect("no faults injected")
         });
         for (dst, incoming) in results.iter().enumerate() {
             prop_assert_eq!(incoming.len(), ranks);

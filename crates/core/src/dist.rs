@@ -13,7 +13,7 @@
 use crate::drpa::RankAggregator;
 use crate::model::{apply_flat_grads, GraphSage, SageConfig, SageWorkspace};
 use distgnn_comm::stats::CommSnapshot;
-use distgnn_comm::Cluster;
+use distgnn_comm::{Cluster, CommError, FaultPlan};
 use distgnn_graph::Dataset;
 use distgnn_kernels::AggregationConfig;
 use distgnn_nn::{Adam, AdamConfig};
@@ -79,6 +79,9 @@ pub struct DistConfig {
     pub seed: u64,
     /// Wire format for clone-sync payloads.
     pub wire_precision: WirePrecision,
+    /// Fault-injection scenario for chaos runs ([`FaultPlan::none`]
+    /// outside of them).
+    pub faults: FaultPlan,
 }
 
 impl DistConfig {
@@ -98,7 +101,30 @@ impl DistConfig {
             epochs,
             seed: 0xD157,
             wire_precision: WirePrecision::Fp32,
+            faults: FaultPlan::none(),
         }
+    }
+}
+
+/// A distributed run aborted on a communication failure. The abort is
+/// collective — every rank stopped at the same epoch — and `rank` is
+/// the (lowest-numbered) rank that observed the root cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistError {
+    pub rank: usize,
+    pub epoch: usize,
+    pub source: CommError,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "training aborted at epoch {} on rank {}: {}", self.epoch, self.rank, self.source)
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -189,6 +215,8 @@ struct RankResult {
     correct: f32,
     total: f32,
     params: Vec<f32>,
+    /// Set when this rank aborted: (epoch, root cause).
+    failure: Option<(usize, CommError)>,
 }
 
 /// The distributed trainer.
@@ -197,22 +225,43 @@ pub struct DistTrainer;
 impl DistTrainer {
     /// Partitions `dataset`, spawns one rank per partition and trains
     /// for `config.epochs` full-batch epochs.
+    ///
+    /// # Panics
+    /// Panics on a communication failure; chaos runs that expect
+    /// failures use [`DistTrainer::try_run`].
     pub fn run(dataset: &Dataset, config: &DistConfig) -> DistRunReport {
-        let edges = dataset.graph.to_edge_list();
-        let partitioning = libra_partition(&edges, config.num_parts);
-        let pg = PartitionedGraph::build(&edges, &partitioning, config.seed);
-        Self::run_on(dataset, &pg, config)
+        Self::try_run(dataset, config).expect("distributed training failed")
     }
 
     /// Runs on a pre-built partitioned graph (lets the harness reuse
     /// one partitioning across modes).
     pub fn run_on(dataset: &Dataset, pg: &PartitionedGraph, config: &DistConfig) -> DistRunReport {
+        Self::try_run_on(dataset, pg, config).expect("distributed training failed")
+    }
+
+    /// Fallible variant of [`DistTrainer::run`]: a communication
+    /// failure (e.g. a fault-injected payload loss under `cd-0`)
+    /// surfaces as a structured [`DistError`] instead of a panic or a
+    /// deadlock.
+    pub fn try_run(dataset: &Dataset, config: &DistConfig) -> Result<DistRunReport, DistError> {
+        let edges = dataset.graph.to_edge_list();
+        let partitioning = libra_partition(&edges, config.num_parts);
+        let pg = PartitionedGraph::build(&edges, &partitioning, config.seed);
+        Self::try_run_on(dataset, &pg, config)
+    }
+
+    /// Fallible variant of [`DistTrainer::run_on`].
+    pub fn try_run_on(
+        dataset: &Dataset,
+        pg: &PartitionedGraph,
+        config: &DistConfig,
+    ) -> Result<DistRunReport, DistError> {
         let k = pg.num_parts();
         assert_eq!(k, config.num_parts, "partition count mismatch");
         let rank_data = prepare_rank_data(dataset, pg);
         let global_train = dataset.train_mask.len().max(1) as f32;
 
-        let (results, comm) = Cluster::run_with_stats(k, |ctx| {
+        let (results, comm) = Cluster::run_with_faults(k, &config.faults, |ctx| {
             let me = ctx.rank();
             let data = &rank_data[me];
             let mut model = GraphSage::new(&config.model);
@@ -231,6 +280,7 @@ impl DistTrainer {
             let mut probs = Matrix::zeros(n_local, config.model.num_classes);
             let mut flat = Vec::new();
 
+            let mut failure = None;
             for e in 0..config.epochs {
                 let t0 = Instant::now();
                 agg.set_epoch(e as u64);
@@ -265,29 +315,63 @@ impl DistTrainer {
                     backward_agg,
                     epoch_time: t0.elapsed(),
                 });
+
+                // Sync errors are collective (every rank records one at
+                // the same sync call), so polling once per epoch makes
+                // all ranks break out together — no rank is left behind
+                // at a barrier.
+                if let Some(err) = agg.take_error() {
+                    failure = Some((e, err));
+                    break;
+                }
             }
 
-            // Evaluation over owned test vertices.
-            agg.set_epoch(config.epochs as u64);
-            model.forward_into(&mut agg, &data.features, &mut ws);
-            let logits = ws.logits();
-            let correct = data
-                .test_ids
-                .iter()
-                .filter(|&&v| {
-                    reduce::row_argmax(&logits.gather_rows(&[v]))[0] == data.labels[v]
-                })
-                .count() as f32;
-            let mut acc_buf = [correct, data.test_ids.len() as f32];
-            ctx.all_reduce_sum(&mut acc_buf);
+            if failure.is_none() {
+                // Evaluation over owned test vertices.
+                agg.set_epoch(config.epochs as u64);
+                model.forward_into(&mut agg, &data.features, &mut ws);
+                if let Some(err) = agg.take_error() {
+                    failure = Some((config.epochs, err));
+                }
+            }
+            let (correct, total) = match failure {
+                Some(_) => (0.0, 0.0),
+                None => {
+                    let logits = ws.logits();
+                    let correct = data
+                        .test_ids
+                        .iter()
+                        .filter(|&&v| {
+                            reduce::row_argmax(&logits.gather_rows(&[v]))[0] == data.labels[v]
+                        })
+                        .count() as f32;
+                    let mut acc_buf = [correct, data.test_ids.len() as f32];
+                    ctx.all_reduce_sum(&mut acc_buf);
+                    (acc_buf[0], acc_buf[1])
+                }
+            };
 
             RankResult {
                 epochs,
-                correct: acc_buf[0],
-                total: acc_buf[1],
+                correct,
+                total,
                 params: model.write_params(),
+                failure,
             }
         });
+
+        // A collective abort leaves every rank with a failure at the
+        // same epoch; surface the root cause (a concrete missing
+        // payload) over the sympathetic `PeerAborted`s.
+        if results.iter().any(|r| r.failure.is_some()) {
+            let (rank, (epoch, source)) = results
+                .iter()
+                .enumerate()
+                .filter_map(|(p, r)| r.failure.map(|f| (p, f)))
+                .min_by_key(|(p, (_, s))| (matches!(s, CommError::PeerAborted), *p))
+                .expect("checked above");
+            return Err(DistError { rank, epoch, source });
+        }
 
         let epochs = (0..config.epochs)
             .map(|e| DistEpochReport {
@@ -303,14 +387,14 @@ impl DistTrainer {
         } else {
             0.0
         };
-        DistRunReport {
+        Ok(DistRunReport {
             epochs,
             test_accuracy,
             per_rank_comm: comm,
             final_params: results.into_iter().map(|r| r.params).collect(),
             partition_vertices: pg.parts.iter().map(|p| p.num_local_vertices()).collect(),
             partition_edges: pg.parts.iter().map(|p| p.graph.num_edges()).collect(),
-        }
+        })
     }
 }
 

@@ -29,7 +29,7 @@
 
 use crate::dist::{DistMode, WirePrecision};
 use crate::model::Aggregator;
-use distgnn_comm::RankCtx;
+use distgnn_comm::{CommError, RankCtx};
 use distgnn_kernels::gcn::gcn_normalize;
 use distgnn_kernels::{AggregationConfig, BinaryOp, PreparedAggregation, ReduceOp};
 use distgnn_partition::setup::Route;
@@ -43,9 +43,14 @@ use std::time::{Duration, Instant};
 const FWD_PHASES: (u64, u64) = (0, 1);
 const BWD_PHASES: (u64, u64) = (2, 3);
 
-/// Tag for a (phase, layer, epoch) triple. Layers are tiny (<64) and
-/// epochs fit comfortably in the remaining bits.
+/// Tag for a (phase, layer, epoch) triple, packed as
+/// `epoch << 10 | layer << 2 | phase`: 2 bits of phase, 8 bits of
+/// layer, 54 bits of epoch. The layer field bounds supported model
+/// depth at **256 layers** — deeper models would bleed into the epoch
+/// bits and collide across epochs.
 fn tag(phase: u64, layer: usize, epoch: u64) -> u64 {
+    debug_assert!(phase < 4, "phase field is 2 bits");
+    debug_assert!(layer < 256, "layer field is 8 bits: depth bound is 256 layers");
     (epoch << 10) | ((layer as u64) << 2) | phase
 }
 
@@ -66,16 +71,24 @@ fn bin_route(route: &Route, r: usize) -> BinnedRoute {
     BinnedRoute { bins }
 }
 
-/// Cached remote rows for one route (one peer, one layer).
+/// Cached remote rows for one route (one peer, one layer), plus
+/// per-bin refresh epochs so staleness is observable.
 #[derive(Clone, Debug)]
 struct RouteCache {
     data: Vec<f32>,
     valid: Vec<bool>,
+    /// Epoch at which each bin's rows were last refreshed (the consume
+    /// epoch; the content itself was generated `r` epochs earlier).
+    bin_refresh: Vec<Option<u64>>,
 }
 
 impl RouteCache {
-    fn new(rows: usize, d: usize) -> Self {
-        RouteCache { data: vec![0.0; rows * d], valid: vec![false; rows] }
+    fn new(rows: usize, d: usize, bins: usize) -> Self {
+        RouteCache {
+            data: vec![0.0; rows * d],
+            valid: vec![false; rows],
+            bin_refresh: vec![None; bins],
+        }
     }
 
     /// Stores `payload` (bin-ordered rows) at route indices `idx`.
@@ -85,6 +98,21 @@ impl RouteCache {
             let i = i as usize;
             self.data[i * d..(i + 1) * d].copy_from_slice(&payload[j * d..(j + 1) * d]);
             self.valid[i] = true;
+        }
+    }
+
+    /// Stores one bin's rows and stamps its refresh epoch.
+    fn store_bin(&mut self, idx: &[u32], payload: &[f32], d: usize, bin: usize, epoch: u64) {
+        self.store_rows(idx, payload, d);
+        self.bin_refresh[bin] = Some(epoch);
+    }
+
+    /// Calls `f(age)` for every bin that has ever refreshed, where
+    /// `age` is how old (in epochs) its cached content is at `epoch`:
+    /// content consumed at epoch `c` was generated at `c - r`.
+    fn for_each_bin_age(&self, epoch: u64, r: u64, mut f: impl FnMut(u64)) {
+        for last in self.bin_refresh.iter().flatten() {
+            f(epoch - last + r);
         }
     }
 
@@ -132,6 +160,10 @@ pub struct RankAggregator<'a, 'b> {
     fwd_state: CdrState,
     precision: WirePrecision,
     epoch: u64,
+    /// First communication failure observed by a sync; forward/backward
+    /// cannot return errors through the `Aggregator` trait, so the
+    /// trainer polls [`RankAggregator::take_error`] once per epoch.
+    error: Option<CommError>,
     lat: Duration,
     rat: Duration,
     backward_time: Duration,
@@ -172,6 +204,7 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
             fwd_state: CdrState::default(),
             precision: WirePrecision::Fp32,
             epoch: 0,
+            error: None,
             lat: Duration::ZERO,
             rat: Duration::ZERO,
             backward_time: Duration::ZERO,
@@ -185,9 +218,19 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
         self
     }
 
-    /// Sets the current epoch; `cd-r` tags its messages with it.
+    /// Sets the current epoch; `cd-r` tags its messages with it, and
+    /// the cluster's fault plan expresses stall windows in it.
     pub fn set_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
+        self.ctx.set_epoch(epoch);
+    }
+
+    /// Takes the first communication error a sync observed since the
+    /// last call. Errors from `all_to_all_v` are collective — every
+    /// rank records one at the same program point — so a per-epoch poll
+    /// lets all ranks abort together without desynchronizing barriers.
+    pub fn take_error(&mut self) -> Option<CommError> {
+        self.error.take()
     }
 
     /// Normalization degrees for the current mode.
@@ -225,13 +268,22 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
     /// gradient sync measurably *hurts* convergence, so `cd-r` keeps
     /// its backward pass clone-local like `0c`.
     fn sync(&mut self, m: &mut Matrix, layer: usize, phases: (u64, u64)) {
+        // After a collective abort, stay comm-silent: every rank saw
+        // the same error at the same sync, so every rank skips the same
+        // collectives until the trainer polls `take_error`.
+        if self.error.is_some() {
+            return;
+        }
         let backward = phases == BWD_PHASES;
         match self.mode {
             DistMode::Oc => {}
-            DistMode::Cd0 => sync_blocking(self.ctx, &self.topo(), m, self.precision),
+            DistMode::Cd0 => {
+                self.error = sync_blocking(self.ctx, &self.topo(), m, self.precision).err();
+            }
             DistMode::CdR { delay } => {
                 if delay == 0 {
-                    sync_blocking(self.ctx, &self.topo(), m, self.precision);
+                    self.error =
+                        sync_blocking(self.ctx, &self.topo(), m, self.precision).err();
                 } else if !backward {
                     let topo = SyncTopo {
                         routes_out: &self.routes_out,
@@ -308,15 +360,23 @@ impl Aggregator for RankAggregator<'_, '_> {
 }
 
 /// Synchronous reduce-broadcast over the clone trees (cd-0), for
-/// aggregates and gradients alike.
-fn sync_blocking(ctx: &RankCtx<'_>, topo: &SyncTopo<'_>, m: &mut Matrix, prec: WirePrecision) {
+/// aggregates and gradients alike. A missing peer payload aborts the
+/// sync on *every* rank (the AlltoAllv error is collective), leaving
+/// `m` partially updated — callers must treat `Err` as fatal for the
+/// epoch.
+fn sync_blocking(
+    ctx: &RankCtx<'_>,
+    topo: &SyncTopo<'_>,
+    m: &mut Matrix,
+    prec: WirePrecision,
+) -> Result<(), CommError> {
     let k = ctx.size();
     let d = m.cols();
     // Phase 1: leaves -> roots.
     let outgoing: Vec<Vec<f32>> = (0..k)
         .map(|p| encode(prec, gather_rows(m, &topo.routes_out[p].leaf_locals, d)))
         .collect();
-    let incoming = ctx.all_to_all_v(outgoing);
+    let incoming = ctx.all_to_all_v(outgoing)?;
     for (q, payload) in incoming.iter().enumerate() {
         let len = topo.routes_in[q].root_locals.len() * d;
         let payload = decode(prec, payload, len);
@@ -326,12 +386,13 @@ fn sync_blocking(ctx: &RankCtx<'_>, topo: &SyncTopo<'_>, m: &mut Matrix, prec: W
     let outgoing: Vec<Vec<f32>> = (0..k)
         .map(|q| encode(prec, gather_rows(m, &topo.routes_in[q].root_locals, d)))
         .collect();
-    let incoming = ctx.all_to_all_v(outgoing);
+    let incoming = ctx.all_to_all_v(outgoing)?;
     for (p, payload) in incoming.iter().enumerate() {
         let len = topo.routes_out[p].leaf_locals.len() * d;
         let payload = decode(prec, payload, len);
         scatter_overwrite(m, &topo.routes_out[p].leaf_locals, &payload, d);
     }
+    Ok(())
 }
 
 /// Packs a payload into the configured wire format.
@@ -373,7 +434,7 @@ fn sync_delayed(
     let me = ctx.rank();
     let d = m.cols();
     let b = (epoch % delay as u64) as usize;
-    ensure_caches(state, topo, layer, d, k);
+    ensure_caches(state, topo, layer, d, k, delay);
 
     // Lines 10–11: gather + async-send this bin's leaf partials
     // (local values, before any cache is applied).
@@ -403,9 +464,12 @@ fn sync_delayed(
             if idx.is_empty() {
                 continue;
             }
+            // A dropped or still-delayed bin message simply leaves the
+            // cached partial in place — the staleness counter below is
+            // what makes the miss observable.
             if let Some(payload) = ctx.try_recv_tagged(q, tag(phases.0, layer, e_src)) {
                 let payload = decode(prec, &payload, idx.len() * d);
-                state.root[layer][q].store_rows(idx, &payload, d);
+                state.root[layer][q].store_bin(idx, &payload, d, b, epoch);
             }
         }
     }
@@ -448,7 +512,7 @@ fn sync_delayed(
             }
             if let Some(payload) = ctx.try_recv_tagged(p, tag(phases.1, layer, e_src)) {
                 let payload = decode(prec, &payload, idx.len() * d);
-                state.leaf[layer][p].store_rows(idx, &payload, d);
+                state.leaf[layer][p].store_bin(idx, &payload, d, b, epoch);
             }
         }
     }
@@ -458,18 +522,36 @@ fn sync_delayed(
             m.row_mut(local).copy_from_slice(row);
         });
     }
+
+    // Staleness accounting: every bin consumed this epoch carries
+    // content generated `r` epochs before its refresh. Fault-free, each
+    // bin refreshes every `r` epochs, so ages stay within Alg. 4's `2r`
+    // bound; a dropped bin message pushes its bin past the bound, which
+    // `record_staleness` flags as a violation.
+    let r = delay as u64;
+    for q in 0..k {
+        state.root[layer][q].for_each_bin_age(epoch, r, |age| ctx.record_staleness(age, 2 * r));
+        state.leaf[layer][q].for_each_bin_age(epoch, r, |age| ctx.record_staleness(age, 2 * r));
+    }
 }
 
-fn ensure_caches(state: &mut CdrState, topo: &SyncTopo<'_>, layer: usize, d: usize, k: usize) {
+fn ensure_caches(
+    state: &mut CdrState,
+    topo: &SyncTopo<'_>,
+    layer: usize,
+    d: usize,
+    k: usize,
+    bins: usize,
+) {
     while state.root.len() <= layer {
         state.root.push(Vec::new());
         state.leaf.push(Vec::new());
     }
     if state.root[layer].is_empty() {
         state.root[layer] =
-            (0..k).map(|q| RouteCache::new(topo.routes_in[q].len(), d)).collect();
+            (0..k).map(|q| RouteCache::new(topo.routes_in[q].len(), d, bins)).collect();
         state.leaf[layer] =
-            (0..k).map(|p| RouteCache::new(topo.routes_out[p].len(), d)).collect();
+            (0..k).map(|p| RouteCache::new(topo.routes_out[p].len(), d, bins)).collect();
     }
 }
 
@@ -521,6 +603,28 @@ mod tests {
         }
     }
 
+    /// Satellite: the bit fields must not collide at their documented
+    /// bounds — layer 255 with any phase must stay distinct from every
+    /// neighbouring epoch's tags.
+    #[test]
+    fn tag_fields_do_not_collide_at_bounds() {
+        let mut seen = std::collections::HashSet::new();
+        for &e in &[0u64, 1, 2, 1_000, u32::MAX as u64] {
+            for &l in &[0usize, 1, 127, 254, 255] {
+                for ph in 0..4u64 {
+                    assert!(seen.insert(tag(ph, l, e)), "collision at ({ph}, {l}, {e})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth bound")]
+    #[cfg(debug_assertions)]
+    fn tag_rejects_layers_beyond_the_depth_bound() {
+        tag(0, 256, 0);
+    }
+
     #[test]
     fn gather_scatter_round_trip() {
         let mut m = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
@@ -552,8 +656,28 @@ mod tests {
     }
 
     #[test]
+    fn route_cache_tracks_bin_ages() {
+        let mut c = RouteCache::new(4, 1, 2);
+        let mut ages = Vec::new();
+        c.for_each_bin_age(5, 2, |a| ages.push(a));
+        assert!(ages.is_empty(), "unrefreshed bins have no age");
+        c.store_bin(&[0], &[1.0], 1, 0, 4);
+        c.store_bin(&[1], &[2.0], 1, 1, 5);
+        let mut ages = Vec::new();
+        c.for_each_bin_age(7, 2, |a| ages.push(a));
+        // Bin 0 refreshed at 4 (content from epoch 2): age 5 at epoch 7.
+        // Bin 1 refreshed at 5 (content from epoch 3): age 4.
+        assert_eq!(ages, vec![5, 4]);
+        // A re-refresh resets the clock.
+        c.store_bin(&[0], &[9.0], 1, 0, 6);
+        let mut ages = Vec::new();
+        c.for_each_bin_age(7, 2, |a| ages.push(a));
+        assert_eq!(ages, vec![3, 4]);
+    }
+
+    #[test]
     fn route_cache_stores_and_replays() {
-        let mut c = RouteCache::new(3, 2);
+        let mut c = RouteCache::new(3, 2, 1);
         c.store_rows(&[2, 0], &[1.0, 2.0, 3.0, 4.0], 2);
         let mut seen = Vec::new();
         c.for_each_valid(2, |i, row| seen.push((i, row.to_vec())));

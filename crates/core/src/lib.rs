@@ -29,6 +29,6 @@ pub mod single;
 pub mod variants;
 pub mod workmodel;
 
-pub use dist::{DistConfig, DistEpochReport, DistMode, DistTrainer};
+pub use dist::{DistConfig, DistEpochReport, DistError, DistMode, DistTrainer};
 pub use model::{Aggregator, GraphSage, LayerWorkspace, SageConfig, SageWorkspace};
 pub use single::{SingleSocketAggregator, Trainer, TrainerConfig};
