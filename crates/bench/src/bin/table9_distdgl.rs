@@ -53,6 +53,9 @@ fn main() {
         seed: 0xD157,
         wire_precision: distgnn_core::dist::WirePrecision::Fp32,
         faults: distgnn_comm::FaultPlan::none(),
+        retry: distgnn_comm::RetryPolicy::standard(),
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     };
     let dist = DistTrainer::run(&ds, &dist_cfg);
 

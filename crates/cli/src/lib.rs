@@ -3,7 +3,7 @@
 //! Hand-rolled parsing (no external dependency): the CLI surface is
 //! small and stable. Split from `main.rs` so the parser is unit-tested.
 
-use distgnn_comm::FaultPlan;
+use distgnn_comm::{FaultPlan, RetryPolicy};
 use distgnn_core::dist::WirePrecision;
 use distgnn_core::DistMode;
 use distgnn_graph::ScaledConfig;
@@ -23,6 +23,16 @@ pub struct Cli {
     pub seed: u64,
     /// Fault-injection scenario for `dist-train` chaos replays.
     pub faults: FaultPlan,
+    /// Collective retry budget (`None` = the standard ladder).
+    pub retries: Option<u32>,
+    /// Checkpoint cadence in epochs (0 = no checkpoints).
+    pub checkpoint_every: usize,
+    /// Root directory for checkpoints.
+    pub checkpoint_dir: Option<String>,
+    /// Start from the newest checkpoint instead of from scratch.
+    pub resume: bool,
+    /// Relaunches allowed after a failed attempt.
+    pub max_restarts: usize,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,7 +61,31 @@ impl Default for Cli {
             blocks: None,
             seed: 0xD15,
             faults: FaultPlan::none(),
+            retries: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: false,
+            max_restarts: 0,
         }
+    }
+}
+
+impl Cli {
+    /// The [`RetryPolicy`] the `--retries` flag selects: absent means
+    /// the standard ladder, `0` disables retrying, `N` gives `N`
+    /// exponential rounds starting at one barrier.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        match self.retries {
+            None => RetryPolicy::standard(),
+            Some(0) => RetryPolicy::none(),
+            Some(n) => RetryPolicy { max_retries: n, initial_backoff: 1, exponential: true },
+        }
+    }
+
+    /// True when any recovery machinery (checkpoints, resume, or
+    /// supervised restarts) is requested.
+    pub fn wants_recovery(&self) -> bool {
+        self.checkpoint_dir.is_some() || self.resume || self.max_restarts > 0
     }
 }
 
@@ -80,14 +114,24 @@ OPTIONS:
     --seed <u64>         partitioning seed            (default 0xD15)
     --faults <spec>      fault-injection scenario     (default none)
 
+RECOVERY OPTIONS (dist-train):
+    --retries <u32>          collective retry rounds before abort
+                             (default: 3 exponential rounds; 0 = fail fast)
+    --checkpoint-every <n>   write a consistent checkpoint every n epochs
+    --checkpoint-dir <path>  root directory for ckpt-<epoch>/ directories
+    --resume                 start from the newest checkpoint in the dir
+    --max-restarts <n>       relaunch from the last checkpoint up to n
+                             times after a failed attempt (default 0)
+
 FAULT SPECS (comma-separated; deterministic per seed):
     seed=<u64>                  decision seed
     drop=<p>[:src->dst]         drop messages with probability p
     delay=<p>x<k>[:src->dst]    deliver k barriers late with probability p
     reorder=<p>[:src->dst]      swap adjacent messages with probability p
     stall=<rank>@<from>+<n>     rank sleeps through n epochs from <from>
+    crash=<rank>@<epoch>        rank fail-stops at the start of <epoch>
     (src/dst are rank numbers or *; e.g.
-     --faults 'seed=42,drop=0.1,delay=0.05x4:0->*,stall=1@5+2')
+     --faults 'seed=42,drop=0.1,delay=0.05x4:0->*,stall=1@5+2,crash=2@9')
 ";
 
 /// Parses an argument vector (excluding argv[0]).
@@ -115,6 +159,11 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--blocks" => cli.blocks = Some(parse_num(flag, value()?)?),
             "--mode" => cli.mode = parse_mode(value()?)?,
             "--faults" => cli.faults = FaultPlan::parse(value()?)?,
+            "--retries" => cli.retries = Some(parse_num(flag, value()?)?),
+            "--checkpoint-every" => cli.checkpoint_every = parse_num(flag, value()?)?,
+            "--checkpoint-dir" => cli.checkpoint_dir = Some(value()?.clone()),
+            "--resume" => cli.resume = true,
+            "--max-restarts" => cli.max_restarts = parse_num(flag, value()?)?,
             "--wire" => {
                 cli.wire = match value()?.as_str() {
                     "fp32" => WirePrecision::Fp32,
@@ -225,6 +274,40 @@ mod tests {
         assert!(cli.faults.stalled(1, 4));
         assert!(parse(&argv("dist-train --faults drop=2.0")).is_err());
         assert!(parse(&argv("dist-train")).unwrap().faults.is_none());
+    }
+
+    #[test]
+    fn recovery_flags_parse_and_default_off() {
+        let cli = parse(&argv(
+            "dist-train --checkpoint-every 3 --checkpoint-dir /tmp/ck --resume \
+             --max-restarts 2 --retries 5 --epochs 12",
+        ))
+        .unwrap();
+        assert_eq!(cli.checkpoint_every, 3);
+        assert_eq!(cli.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert!(cli.resume);
+        assert_eq!(cli.max_restarts, 2);
+        assert_eq!(cli.retry_policy().max_retries, 5);
+        assert!(cli.wants_recovery());
+
+        let plain = parse(&argv("dist-train")).unwrap();
+        assert!(!plain.wants_recovery());
+        assert_eq!(plain.retry_policy(), RetryPolicy::standard());
+        assert_eq!(
+            parse(&argv("dist-train --retries 0")).unwrap().retry_policy(),
+            RetryPolicy::none()
+        );
+        // `--resume` is boolean: the next token is a flag, not a value.
+        let r = parse(&argv("dist-train --resume --epochs 7")).unwrap();
+        assert!(r.resume);
+        assert_eq!(r.epochs, 7);
+    }
+
+    #[test]
+    fn crash_fault_rule_parses() {
+        let cli = parse(&argv("dist-train --faults crash=2@9")).unwrap();
+        assert_eq!(cli.faults.crash_at(9), Some(2));
+        assert_eq!(cli.faults.crash_at(8), None);
     }
 
     #[test]

@@ -73,6 +73,9 @@ fn dist_train(cli: &Cli) {
     cfg.wire_precision = cli.wire;
     cfg.seed = cli.seed;
     cfg.faults = cli.faults.clone();
+    cfg.retry = cli.retry_policy();
+    cfg.checkpoint_every = cli.checkpoint_every;
+    cfg.checkpoint_dir = cli.checkpoint_dir.as_ref().map(std::path::PathBuf::from);
     println!(
         "mode {}, {} sockets, wire {}{}",
         cli.mode.name(),
@@ -80,11 +83,31 @@ fn dist_train(cli: &Cli) {
         cli.wire.name(),
         if cli.faults.is_none() { "" } else { ", fault injection ON" }
     );
-    let report = match DistTrainer::try_run(&ds, &cfg) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+    let report = if cli.wants_recovery() {
+        match DistTrainer::try_run_recovering(&ds, &cfg, cli.max_restarts, cli.resume) {
+            Ok(rec) => {
+                for f in &rec.failures {
+                    eprintln!("attempt failed: {f}");
+                }
+                println!(
+                    "recovery: {} restart(s), {} epoch(s) replayed, {} retries absorbed \
+                     ({} backoff barriers)",
+                    rec.restarts, rec.epochs_replayed, rec.retries_absorbed, rec.backoff_barriers
+                );
+                rec.run
+            }
+            Err(e) => {
+                eprintln!("error: {e} (restart budget exhausted)");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match DistTrainer::try_run(&ds, &cfg) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     };
     for (i, e) in report.epochs.iter().enumerate() {

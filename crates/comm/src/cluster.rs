@@ -10,6 +10,7 @@
 //! barrier).
 
 use crate::faults::FaultPlan;
+use crate::retry::RetryPolicy;
 use crate::stats::{CommSnapshot, CommStats};
 use parking_lot::Mutex;
 use std::cell::Cell;
@@ -26,6 +27,9 @@ pub enum CommError {
     /// A peer observed a failure and the collective aborted; this rank
     /// itself saw nothing missing.
     PeerAborted,
+    /// A rank fail-stopped (crash fault); every rank observes the same
+    /// error at its epoch-start poll.
+    RankCrashed { rank: usize },
 }
 
 impl std::fmt::Display for CommError {
@@ -35,14 +39,20 @@ impl std::fmt::Display for CommError {
                 write!(f, "payload from rank {src} never arrived at rank {dst}")
             }
             CommError::PeerAborted => write!(f, "a peer aborted the collective"),
+            CommError::RankCrashed { rank } => {
+                write!(f, "rank {rank} crashed (fail-stop)")
+            }
         }
     }
 }
 
 impl std::error::Error for CommError {}
 
-/// One in-flight AlltoAll payload slot.
-type XchgSlot = Mutex<Option<Vec<f32>>>;
+/// One in-flight AlltoAll payload slot. Like the tagged mailboxes, a
+/// deposited payload carries the barrier count from which the receiver
+/// may see it, so a delay fault withholds the payload until the clock
+/// passes — the window a `RetryPolicy` can bridge.
+type XchgSlot = Mutex<Option<Msg>>;
 
 /// A tagged message in flight; `available_at` is the receiver-side
 /// barrier count from which it is visible (0 = immediately, the
@@ -303,11 +313,30 @@ impl RankCtx<'_> {
     /// # Panics
     /// Panics if `outgoing.len() != size`.
     pub fn all_to_all_v(&self, outgoing: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, CommError> {
+        self.all_to_all_v_retry(outgoing, &RetryPolicy::none())
+    }
+
+    /// [`RankCtx::all_to_all_v`] with a bounded-retry escalation ladder:
+    /// when a payload is missing after the rendezvous, all ranks agree
+    /// to step `policy.backoff(round)` extra barriers together and
+    /// re-check — a delay-faulted payload becomes visible once the
+    /// barrier clock passes its release point, absorbing the fault with
+    /// latency instead of an abort. Only after `policy.max_retries`
+    /// fruitless rounds does the call escalate to the collective abort.
+    /// The retry rounds are themselves collective (flag vote + shared
+    /// backoff barriers), so barrier sequences stay aligned and the
+    /// retried run's payloads are bit-identical to a fault-free run's.
+    pub fn all_to_all_v_retry(
+        &self,
+        outgoing: Vec<Vec<f32>>,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<Vec<f32>>, CommError> {
         let k = self.size();
         assert_eq!(outgoing.len(), k, "need one payload per rank");
         let faults = self.shared.faults.as_ref();
         let stalled = self.is_stalled();
         let stats = &self.shared.stats[self.rank];
+        let now = self.barriers.get();
         let mut own = None;
         for (dst, payload) in outgoing.into_iter().enumerate() {
             if dst == self.rank {
@@ -315,6 +344,7 @@ impl RankCtx<'_> {
                 continue;
             }
             let wire = (payload.len() * 4) as u64;
+            let mut available_at = 0;
             if let Some(f) = faults {
                 if stalled {
                     stats.record_stalled_send();
@@ -326,55 +356,99 @@ impl RankCtx<'_> {
                     stats.record_dropped();
                     continue;
                 }
-                // A delayed payload in a blocking rendezvous costs
-                // latency, never correctness: count it, deliver it.
-                if f.plan.delay_decision(self.rank, dst, n) > 0 {
+                let delay = f.plan.delay_decision(self.rank, dst, n);
+                if delay > 0 {
                     stats.record_delayed();
+                    // Visible `delay` barriers after the rendezvous:
+                    // the receiver crosses one barrier to get there.
+                    available_at = now + 1 + delay;
                 }
             }
             stats.record_send(wire);
-            *self.shared.xchg[self.rank][dst].lock() = Some(payload);
+            *self.shared.xchg[self.rank][dst].lock() = Some(Msg { payload, available_at });
         }
         self.barrier();
-        let mut incoming = Vec::with_capacity(k);
-        let mut missing = None;
-        for src in 0..k {
-            if src == self.rank {
-                incoming.push(own.take().unwrap_or_default());
-                continue;
-            }
-            match self.shared.xchg[src][self.rank].lock().take() {
-                Some(payload) => {
-                    stats.record_recv((payload.len() * 4) as u64);
-                    incoming.push(payload);
+
+        let mut incoming: Vec<Option<Vec<f32>>> = (0..k).map(|_| None).collect();
+        incoming[self.rank] = Some(own.take().unwrap_or_default());
+        let Some(f) = faults else {
+            // Fault-free fast path: every payload is visible now; a
+            // missing slot is a protocol bug surfaced as a typed error.
+            let mut missing = None;
+            for (src, slot) in incoming.iter_mut().enumerate() {
+                if src == self.rank {
+                    continue;
                 }
-                None => {
-                    missing.get_or_insert(CommError::MissingPayload { src, dst: self.rank });
-                    incoming.push(Vec::new());
+                match self.shared.xchg[src][self.rank].lock().take() {
+                    Some(msg) => {
+                        stats.record_recv((msg.payload.len() * 4) as u64);
+                        *slot = Some(msg.payload);
+                    }
+                    None => {
+                        missing.get_or_insert(CommError::MissingPayload { src, dst: self.rank });
+                    }
                 }
             }
-        }
-        if let Some(f) = faults {
-            // Collective abort agreement: every rank learns whether
-            // anyone saw a missing payload and takes the same branch,
-            // keeping barrier sequences aligned across ranks.
+            self.barrier();
+            return match missing {
+                None => Ok(incoming.into_iter().map(|p| p.unwrap_or_default()).collect()),
+                Some(e) => Err(e),
+            };
+        };
+
+        let mut round = 0u32;
+        loop {
+            for (src, dest) in incoming.iter_mut().enumerate() {
+                if src == self.rank || dest.is_some() {
+                    continue;
+                }
+                let mut slot = self.shared.xchg[src][self.rank].lock();
+                if slot.as_ref().is_some_and(|m| m.available_at <= self.barriers.get()) {
+                    let msg = slot.take().expect("visibility checked under the lock");
+                    drop(slot);
+                    stats.record_recv((msg.payload.len() * 4) as u64);
+                    *dest = Some(msg.payload);
+                }
+            }
+            let missing = (0..k).find(|&src| incoming[src].is_none());
+            // Collective agreement: every rank learns whether anyone is
+            // still missing a payload and takes the same branch, keeping
+            // barrier sequences aligned across ranks.
             if missing.is_some() {
                 f.abort[self.rank].store(true, Ordering::SeqCst);
             }
             self.barrier();
             let any = f.abort.iter().any(|a| a.load(Ordering::SeqCst));
+            let exhausted = any && round >= policy.max_retries;
+            if exhausted {
+                // Clear undelivered (still-delayed) slots so the next
+                // collective on these links starts clean. This must
+                // happen *between* the vote barriers: every rank is
+                // still inside the vote, so no rank can be depositing
+                // for a subsequent collective into the slots we drain.
+                for src in 0..k {
+                    if src != self.rank {
+                        self.shared.xchg[src][self.rank].lock().take();
+                    }
+                }
+            }
             self.barrier();
             f.abort[self.rank].store(false, Ordering::SeqCst);
-            if any {
-                return Err(missing.unwrap_or(CommError::PeerAborted));
+            if !any {
+                return Ok(incoming.into_iter().map(|p| p.unwrap_or_default()).collect());
             }
-        } else {
-            self.barrier();
-            if let Some(e) = missing {
-                return Err(e);
+            if exhausted {
+                return Err(missing
+                    .map(|src| CommError::MissingPayload { src, dst: self.rank })
+                    .unwrap_or(CommError::PeerAborted));
             }
+            let backoff = policy.backoff(round);
+            stats.record_retry(backoff);
+            for _ in 0..backoff {
+                self.barrier();
+            }
+            round += 1;
         }
-        Ok(incoming)
     }
 
     /// Posts `payload` for `dst` under `tag` without blocking. The
@@ -452,10 +526,119 @@ impl RankCtx<'_> {
             .ok_or(CommError::MissingPayload { src, dst: self.rank })
     }
 
+    /// [`RankCtx::recv_tagged`] with bounded retry: on a miss, this
+    /// rank advances its *local* barrier clock by the policy's backoff
+    /// (as if it had idled through that many barrier intervals polling)
+    /// and re-checks — a delay-faulted message becomes visible once the
+    /// clock passes its release point. Point-to-point receives cannot
+    /// step global barriers (no other rank is at a matching program
+    /// point), so the wait is receiver-local and introduces a bounded
+    /// clock skew between ranks; the skew only ever makes messages
+    /// visible *earlier* elsewhere, never later.
+    pub fn recv_tagged_retry(
+        &self,
+        src: usize,
+        tag: u64,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<f32>, CommError> {
+        let mut round = 0u32;
+        loop {
+            if let Some(payload) = self.try_recv_tagged(src, tag) {
+                return Ok(payload);
+            }
+            if round >= policy.max_retries {
+                return Err(CommError::MissingPayload { src, dst: self.rank });
+            }
+            let backoff = policy.backoff(round);
+            self.shared.stats[self.rank].record_retry(backoff);
+            self.barriers.set(self.barriers.get() + backoff);
+            round += 1;
+        }
+    }
+
+    /// The plan's fail-stop view: if any rank is scheduled to have
+    /// crashed by the current epoch, every rank's epoch-start poll
+    /// observes the same [`CommError::RankCrashed`] — the simulated
+    /// supervisor detecting a dead peer and tearing the job down
+    /// collectively, the failure a checkpoint/restart loop recovers
+    /// from.
+    pub fn check_crashed(&self) -> Option<CommError> {
+        let f = self.shared.faults.as_ref()?;
+        f.plan
+            .crash_at(self.epoch.get())
+            .map(|rank| CommError::RankCrashed { rank })
+    }
+
+    /// Snapshot of this rank's posted-but-unconsumed tagged messages
+    /// (including any message parked by a reorder fault), sorted by
+    /// `(dst, tag)` so the result is deterministic. `remaining_delay`
+    /// is relative to this rank's current barrier clock: restoring into
+    /// a fresh cluster (clock 0) reproduces the same visibility
+    /// schedule. Checkpointing must capture these — the `cd-r` pipeline
+    /// keeps up to `r` epochs of partial aggregates in flight, and a
+    /// resumed run would silently diverge without them.
+    pub fn export_outbox(&self) -> Vec<PendingMsg> {
+        let now = self.barriers.get();
+        let mut out = Vec::new();
+        for dst in 0..self.size() {
+            if dst == self.rank {
+                continue;
+            }
+            for (&tag, msg) in self.shared.tagged[self.rank][dst].lock().iter() {
+                out.push(PendingMsg {
+                    dst,
+                    tag,
+                    remaining_delay: msg.available_at.saturating_sub(now),
+                    payload: msg.payload.clone(),
+                });
+            }
+            if let Some(f) = self.shared.faults.as_ref() {
+                if let Some((tag, msg)) = f.held[self.rank][dst].lock().as_ref() {
+                    out.push(PendingMsg {
+                        dst,
+                        tag: *tag,
+                        remaining_delay: msg.available_at.saturating_sub(now),
+                        payload: msg.payload.clone(),
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|m| (m.dst, m.tag));
+        out
+    }
+
+    /// Re-posts checkpointed in-flight messages into this (fresh)
+    /// cluster's mailboxes, shifting each `remaining_delay` onto the
+    /// current barrier clock. Counts toward no send/recv statistics:
+    /// the wire traffic was already accounted for when the messages
+    /// were first sent.
+    pub fn restore_outbox(&self, pending: &[PendingMsg]) {
+        let now = self.barriers.get();
+        for m in pending {
+            assert!(m.dst < self.size(), "restored message addressed out of range");
+            self.shared.tagged[self.rank][m.dst].lock().insert(
+                m.tag,
+                Msg { payload: m.payload.clone(), available_at: now + m.remaining_delay },
+            );
+        }
+    }
+
     /// This rank's communication counters.
     pub fn stats(&self) -> CommSnapshot {
         self.shared.stats[self.rank].snapshot()
     }
+}
+
+/// One posted-but-unconsumed tagged message, as captured by
+/// [`RankCtx::export_outbox`] for checkpointing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingMsg {
+    pub dst: usize,
+    pub tag: u64,
+    /// Barriers (relative to the exporting rank's clock) until the
+    /// message becomes visible; 0 = immediately.
+    pub remaining_delay: u64,
+    pub payload: Vec<f32>,
 }
 
 #[cfg(test)]
@@ -707,6 +890,137 @@ mod fault_tests {
         for r in out {
             assert_eq!(r, vec![false, false, true], "epoch 2 is past the stall window");
         }
+    }
+
+    /// A delayed collective payload is now withheld until the barrier
+    /// clock passes its release point: without a retry policy the
+    /// rendezvous aborts — the window `RetryPolicy` exists to bridge.
+    #[test]
+    fn delayed_collective_payload_aborts_without_retry() {
+        let plan = FaultPlan::none().with_seed(13).with_delay(1.0, 3);
+        let (out, snaps) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let outgoing = (0..2).map(|d| vec![d as f32]).collect();
+            ctx.all_to_all_v(outgoing)
+        });
+        assert!(out.iter().all(Result::is_err), "no retry: the delay must abort");
+        assert!(snaps.iter().all(|s| s.messages_delayed == 1));
+    }
+
+    /// The same transient delay is absorbed by the standard retry
+    /// ladder: the collective completes with the exact payloads a
+    /// fault-free run delivers, and the retry counters record the
+    /// rounds spent waiting.
+    #[test]
+    fn retry_absorbs_transient_collective_delay() {
+        let plan = FaultPlan::none().with_seed(13).with_delay(1.0, 3);
+        let (out, snaps) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let outgoing: Vec<Vec<f32>> =
+                (0..2).map(|d| vec![(ctx.rank() * 10 + d) as f32]).collect();
+            ctx.all_to_all_v_retry(outgoing, &RetryPolicy::standard())
+                .expect("a 3-barrier delay fits inside the standard ladder")
+        });
+        for (d, incoming) in out.iter().enumerate() {
+            for (s, payload) in incoming.iter().enumerate() {
+                assert_eq!(payload, &vec![(s * 10 + d) as f32]);
+            }
+        }
+        for s in &snaps {
+            assert!(s.retries_attempted > 0, "retries must have fired");
+            assert!(s.backoff_barriers > 0);
+        }
+    }
+
+    /// A permanent fault (drop) exhausts the ladder and escalates to
+    /// the same collective abort as before — retries bound the extra
+    /// latency a lost payload can cost.
+    #[test]
+    fn retry_exhaustion_escalates_to_collective_abort() {
+        let plan = FaultPlan::none().with_seed(9).with_drop(1.0);
+        let (out, snaps) = Cluster::run_with_faults(3, &plan, |ctx| {
+            let outgoing = (0..3).map(|d| vec![d as f32]).collect();
+            ctx.all_to_all_v_retry(outgoing, &RetryPolicy::standard())
+        });
+        assert!(out.iter().all(Result::is_err), "a drop is permanent: abort after retries");
+        assert!(out
+            .iter()
+            .any(|r| matches!(r, Err(CommError::MissingPayload { .. }))));
+        assert!(snaps.iter().all(|s| s.retries_attempted == RetryPolicy::standard().max_retries as u64));
+    }
+
+    /// Point-to-point retry bridges a delay by advancing the receiver's
+    /// local clock; the no-retry `recv_tagged` on the same plan still
+    /// surfaces the typed error (covered above).
+    #[test]
+    fn recv_tagged_retry_absorbs_delay() {
+        let plan = FaultPlan::none().with_seed(5).with_delay(1.0, 3);
+        let (out, snaps) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send_tagged(peer, 7, vec![4.5]);
+            ctx.barrier();
+            ctx.recv_tagged_retry(peer, 7, &RetryPolicy::standard())
+        });
+        for r in out {
+            assert_eq!(r, Ok(vec![4.5]));
+        }
+        assert!(snaps.iter().all(|s| s.retries_attempted > 0));
+    }
+
+    #[test]
+    fn check_crashed_fires_from_the_crash_epoch() {
+        let plan = FaultPlan::none().with_crash(1, 2);
+        let (out, _) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let mut seen = Vec::new();
+            for e in 0..4u64 {
+                ctx.set_epoch(e);
+                seen.push(ctx.check_crashed());
+            }
+            seen
+        });
+        for per_rank in out {
+            assert_eq!(per_rank[0], None);
+            assert_eq!(per_rank[1], None);
+            assert_eq!(per_rank[2], Some(CommError::RankCrashed { rank: 1 }));
+            assert_eq!(per_rank[3], Some(CommError::RankCrashed { rank: 1 }));
+        }
+    }
+
+    /// The outbox snapshot captures exactly the posted-but-unconsumed
+    /// messages in deterministic order, and restoring re-creates their
+    /// visibility schedule on a fresh clock.
+    #[test]
+    fn outbox_export_restore_round_trip() {
+        let plan = FaultPlan::none().with_seed(5).with_delay(1.0, 3);
+        let (out, _) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send_tagged(peer, 2, vec![2.0]);
+            ctx.send_tagged(peer, 1, vec![1.0]);
+            ctx.barrier();
+            ctx.export_outbox()
+        });
+        for (rank, pending) in out.iter().enumerate() {
+            assert_eq!(pending.len(), 2, "both messages are unconsumed");
+            assert_eq!(pending[0].tag, 1, "sorted by (dst, tag)");
+            assert_eq!(pending[1].tag, 2);
+            assert_eq!(pending[0].dst, 1 - rank);
+            // Sent at clock 0 with delay 3, exported at clock 1.
+            assert!(pending.iter().all(|m| m.remaining_delay == 2));
+        }
+        // Restore into a fresh fault-free cluster: visibility resumes
+        // relative to the new clock.
+        let exported = out[0].clone();
+        let got = Cluster::run(2, move |ctx| {
+            if ctx.rank() == 0 {
+                ctx.restore_outbox(&exported);
+            }
+            ctx.barrier();
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                (ctx.try_recv_tagged(0, 1), ctx.try_recv_tagged(0, 2))
+            } else {
+                (None, None)
+            }
+        });
+        assert_eq!(got[1], (Some(vec![1.0]), Some(vec![2.0])));
     }
 
     #[test]

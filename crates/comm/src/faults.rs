@@ -25,6 +25,10 @@
 //! - **stall** — a rank sleeps through `[from, from + epochs)` training
 //!   epochs: its outgoing clone-sync traffic (tagged and AlltoAllv) is
 //!   suppressed and it picks up no tagged messages while asleep.
+//! - **crash** — a rank fail-stops at the start of an epoch. Every rank
+//!   observes the same `RankCrashed` error at its epoch-start poll (the
+//!   simulated supervisor detecting the dead peer), so the job tears
+//!   down collectively and can be relaunched from a checkpoint.
 //!
 //! The parameter AllReduce (and broadcast/gather) is assumed reliable:
 //! the paper's gradient sync is a blocking OneCCL collective, and
@@ -83,6 +87,14 @@ pub struct StallRule {
     pub epochs: u64,
 }
 
+/// Rank `rank` fail-stops at the start of epoch `epoch` (and stays
+/// dead for the rest of the run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashRule {
+    pub rank: usize,
+    pub epoch: u64,
+}
+
 /// A deterministic chaos scenario for one cluster run.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct FaultPlan {
@@ -91,6 +103,7 @@ pub struct FaultPlan {
     pub delays: Vec<DelayRule>,
     pub reorders: Vec<ReorderRule>,
     pub stalls: Vec<StallRule>,
+    pub crashes: Vec<CrashRule>,
 }
 
 impl FaultPlan {
@@ -105,6 +118,7 @@ impl FaultPlan {
             && self.delays.is_empty()
             && self.reorders.is_empty()
             && self.stalls.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// Uniform drop probability on every link.
@@ -131,6 +145,12 @@ impl FaultPlan {
         self
     }
 
+    /// Rank `rank` fail-stops at the start of epoch `epoch`.
+    pub fn with_crash(mut self, rank: usize, epoch: u64) -> Self {
+        self.crashes.push(CrashRule { rank, epoch });
+        self
+    }
+
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -141,6 +161,13 @@ impl FaultPlan {
         self.stalls
             .iter()
             .any(|s| s.rank == rank && epoch >= s.from && epoch < s.from + s.epochs)
+    }
+
+    /// The lowest-numbered rank whose fail-stop crash has triggered by
+    /// `epoch`, if any. A pure function of the epoch, so every rank's
+    /// epoch-start poll reaches the same verdict.
+    pub fn crash_at(&self, epoch: u64) -> Option<usize> {
+        self.crashes.iter().filter(|c| epoch >= c.epoch).map(|c| c.rank).min()
     }
 
     /// Should the `n`-th message on link `src -> dst` be dropped?
@@ -183,6 +210,7 @@ impl FaultPlan {
     ///          | 'delay=' prob 'x' barriers link?   delay=0.05x4
     ///          | 'reorder=' prob link?              reorder=0.2:*->0
     ///          | 'stall=' rank '@' from '+' epochs  stall=1@5+2
+    ///          | 'crash=' rank '@' epoch            crash=2@10
     /// link    := ':' pat '->' pat                   pat := '*' | rank
     /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
@@ -236,6 +264,19 @@ impl FaultPlan {
                         epochs: epochs
                             .parse()
                             .map_err(|_| format!("invalid stall length `{epochs}`"))?,
+                    });
+                }
+                "crash" => {
+                    let (rank, epoch) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("crash `{val}` wants rank@epoch"))?;
+                    plan.crashes.push(CrashRule {
+                        rank: rank
+                            .parse()
+                            .map_err(|_| format!("invalid crash rank `{rank}`"))?,
+                        epoch: epoch
+                            .parse()
+                            .map_err(|_| format!("invalid crash epoch `{epoch}`"))?,
                     });
                 }
                 other => return Err(format!("unknown fault kind `{other}`")),
@@ -362,6 +403,24 @@ mod tests {
         assert!(p.stalled(2, 7));
         assert!(!p.stalled(2, 8));
         assert!(!p.stalled(1, 6));
+    }
+
+    #[test]
+    fn crash_triggers_from_its_epoch_onward() {
+        let p = FaultPlan::none().with_crash(2, 5).with_crash(1, 8);
+        assert!(!p.is_none());
+        assert_eq!(p.crash_at(4), None);
+        assert_eq!(p.crash_at(5), Some(2));
+        assert_eq!(p.crash_at(8), Some(1), "the lowest crashed rank is reported");
+        assert_eq!(p.crash_at(100), Some(1));
+    }
+
+    #[test]
+    fn parse_crash_rule() {
+        let p = FaultPlan::parse("crash=2@10").unwrap();
+        assert_eq!(p.crashes, vec![CrashRule { rank: 2, epoch: 10 }]);
+        assert!(FaultPlan::parse("crash=2").is_err());
+        assert!(FaultPlan::parse("crash=x@3").is_err());
     }
 
     #[test]

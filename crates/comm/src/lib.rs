@@ -31,9 +31,11 @@
 pub mod cluster;
 pub mod faults;
 pub mod netmodel;
+pub mod retry;
 pub mod stats;
 
-pub use cluster::{Cluster, CommError, RankCtx};
+pub use cluster::{Cluster, CommError, PendingMsg, RankCtx};
 pub use faults::FaultPlan;
 pub use netmodel::NetworkModel;
+pub use retry::RetryPolicy;
 pub use stats::{CommSnapshot, CommStats};

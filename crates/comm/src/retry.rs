@@ -1,0 +1,102 @@
+//! Bounded deterministic retry with barrier-stepped backoff.
+//!
+//! A transient fault (a delayed payload) and a permanent one (a drop,
+//! a stalled or crashed peer) look identical at the moment a receiver
+//! finds its slot empty. A [`RetryPolicy`] gives the collective a
+//! bounded, deterministic escalation ladder: re-check the slot after
+//! stepping a few extra barriers (the simulated clock that delay
+//! faults are expressed in), doubling the wait each round, and only
+//! after `max_retries` fruitless rounds escalate to the existing
+//! collective abort. Because the backoff is counted in barriers — not
+//! wall-clock — two runs with the same seed retry identically, and a
+//! retried run that succeeds is bit-identical to a fault-free one.
+
+/// Deterministic bounded-retry schedule for communication calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-check rounds after the first failed attempt; 0 disables
+    /// retrying (first miss escalates immediately).
+    pub max_retries: u32,
+    /// Barriers stepped before the first re-check.
+    pub initial_backoff: u64,
+    /// Double the backoff every round (1, 2, 4, ...) instead of
+    /// stepping a constant number of barriers.
+    pub exponential: bool,
+}
+
+impl RetryPolicy {
+    /// No retries: the pre-retry behaviour, first miss aborts.
+    pub const fn none() -> Self {
+        RetryPolicy { max_retries: 0, initial_backoff: 0, exponential: false }
+    }
+
+    /// The default ladder: 3 rounds of 1, 2, 4 barriers (7 barriers of
+    /// grace in total) before escalating — enough to absorb any delay
+    /// fault of up to 7 barriers while keeping a permanent fault's
+    /// time-to-abort bounded.
+    pub const fn standard() -> Self {
+        RetryPolicy { max_retries: 3, initial_backoff: 1, exponential: true }
+    }
+
+    /// True when the policy never retries.
+    pub fn is_none(&self) -> bool {
+        self.max_retries == 0
+    }
+
+    /// Barriers to wait before re-check round `attempt` (0-based).
+    /// Always at least 1: a zero-barrier retry would spin without
+    /// advancing the clock that makes delayed messages visible.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let base = self.initial_backoff.max(1);
+        if self.exponential {
+            base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+        } else {
+            base
+        }
+    }
+
+    /// Total barriers of grace the full ladder grants before abort.
+    pub fn total_backoff(&self) -> u64 {
+        (0..self.max_retries).map(|a| self.backoff(a)).sum()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_retries() {
+        let p = RetryPolicy::none();
+        assert!(p.is_none());
+        assert_eq!(p.total_backoff(), 0);
+    }
+
+    #[test]
+    fn standard_ladder_doubles() {
+        let p = RetryPolicy::standard();
+        assert_eq!(p.backoff(0), 1);
+        assert_eq!(p.backoff(1), 2);
+        assert_eq!(p.backoff(2), 4);
+        assert_eq!(p.total_backoff(), 7);
+    }
+
+    #[test]
+    fn constant_ladder_holds_steady() {
+        let p = RetryPolicy { max_retries: 4, initial_backoff: 3, exponential: false };
+        assert!((0..4).all(|a| p.backoff(a) == 3));
+        assert_eq!(p.total_backoff(), 12);
+    }
+
+    #[test]
+    fn zero_backoff_still_advances_the_clock() {
+        let p = RetryPolicy { max_retries: 2, initial_backoff: 0, exponential: false };
+        assert_eq!(p.backoff(0), 1, "a retry must step at least one barrier");
+    }
+}

@@ -18,6 +18,9 @@ pub struct CommStats {
     messages_delayed: AtomicU64,
     messages_reordered: AtomicU64,
     sends_stalled: AtomicU64,
+    // Retry-policy accounting (zero unless a RetryPolicy fires).
+    retries_attempted: AtomicU64,
+    backoff_barriers: AtomicU64,
     // cd-r staleness accounting (epochs of age of consumed remote
     // partials, recorded by the DRPA layer).
     max_staleness: AtomicU64,
@@ -60,6 +63,13 @@ impl CommStats {
         self.sends_stalled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A retry round fired, waiting `backoff` barriers before the
+    /// re-check (see `retry::RetryPolicy`).
+    pub fn record_retry(&self, backoff: u64) {
+        self.retries_attempted.fetch_add(1, Ordering::Relaxed);
+        self.backoff_barriers.fetch_add(backoff, Ordering::Relaxed);
+    }
+
     /// Records the age (in epochs) of a consumed remote partial; ages
     /// above `bound` count as staleness violations. The DRPA layer
     /// calls this with `bound = 2r` (Alg. 4's worst-case freshness).
@@ -98,6 +108,8 @@ impl CommStats {
             messages_delayed: self.messages_delayed.load(Ordering::Relaxed),
             messages_reordered: self.messages_reordered.load(Ordering::Relaxed),
             sends_stalled: self.sends_stalled.load(Ordering::Relaxed),
+            retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
+            backoff_barriers: self.backoff_barriers.load(Ordering::Relaxed),
             max_staleness: self.max_staleness.load(Ordering::Relaxed),
             staleness_violations: self.staleness_violations.load(Ordering::Relaxed),
             stale_hist,
@@ -117,6 +129,11 @@ pub struct CommSnapshot {
     pub messages_delayed: u64,
     pub messages_reordered: u64,
     pub sends_stalled: u64,
+    /// Retry rounds fired by a `RetryPolicy` before giving up or
+    /// succeeding.
+    pub retries_attempted: u64,
+    /// Barriers spent backing off across all retry rounds.
+    pub backoff_barriers: u64,
     /// Maximum age (epochs) of any consumed remote partial aggregate.
     pub max_staleness: u64,
     /// Consumed partials older than the schedule's freshness bound.
@@ -173,11 +190,15 @@ mod tests {
         s.record_delayed();
         s.record_reordered();
         s.record_stalled_send();
+        s.record_retry(1);
+        s.record_retry(2);
         let snap = s.snapshot();
         assert_eq!(snap.messages_dropped, 1);
         assert_eq!(snap.messages_delayed, 2);
         assert_eq!(snap.messages_reordered, 1);
         assert_eq!(snap.sends_stalled, 1);
+        assert_eq!(snap.retries_attempted, 2);
+        assert_eq!(snap.backoff_barriers, 3);
     }
 
     #[test]

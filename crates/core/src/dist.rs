@@ -13,12 +13,17 @@
 use crate::drpa::RankAggregator;
 use crate::model::{apply_flat_grads, GraphSage, SageConfig, SageWorkspace};
 use distgnn_comm::stats::CommSnapshot;
-use distgnn_comm::{Cluster, CommError, FaultPlan};
+use distgnn_comm::{Cluster, CommError, FaultPlan, PendingMsg, RankCtx, RetryPolicy};
 use distgnn_graph::Dataset;
+use distgnn_io::{
+    list_checkpoints, load_cluster_state, save_cluster_manifest, save_train_state, PendingWire,
+    TrainState,
+};
 use distgnn_kernels::AggregationConfig;
 use distgnn_nn::{Adam, AdamConfig};
 use distgnn_partition::{libra_partition, PartitionedGraph};
 use distgnn_tensor::{reduce, Matrix};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// The three distributed algorithms of §5.3.
@@ -82,6 +87,15 @@ pub struct DistConfig {
     /// Fault-injection scenario for chaos runs ([`FaultPlan::none`]
     /// outside of them).
     pub faults: FaultPlan,
+    /// Retry policy for blocking collectives: transient delivery
+    /// faults are absorbed with bounded barrier-stepped backoff before
+    /// escalating to a collective abort.
+    pub retry: RetryPolicy,
+    /// Write a consistent cluster checkpoint every N epochs (0 = off;
+    /// requires [`DistConfig::checkpoint_dir`]).
+    pub checkpoint_every: usize,
+    /// Root directory for `ckpt-<epoch>/` checkpoint directories.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl DistConfig {
@@ -102,6 +116,9 @@ impl DistConfig {
             seed: 0xD157,
             wire_precision: WirePrecision::Fp32,
             faults: FaultPlan::none(),
+            retry: RetryPolicy::standard(),
+            checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 }
@@ -256,8 +273,37 @@ impl DistTrainer {
         pg: &PartitionedGraph,
         config: &DistConfig,
     ) -> Result<DistRunReport, DistError> {
+        Self::try_run_resumed(dataset, pg, config, None)
+    }
+
+    /// Like [`DistTrainer::try_run_on`], but optionally starting from a
+    /// consistent cluster checkpoint (one [`TrainState`] per rank, all
+    /// from the same epoch barrier). Restoring params, Adam moments,
+    /// DRPA caches and the in-flight outbox makes the resumed run
+    /// reproduce the uninterrupted one bit-for-bit.
+    fn try_run_resumed(
+        dataset: &Dataset,
+        pg: &PartitionedGraph,
+        config: &DistConfig,
+        resume: Option<&[TrainState]>,
+    ) -> Result<DistRunReport, DistError> {
         let k = pg.num_parts();
         assert_eq!(k, config.num_parts, "partition count mismatch");
+        if let Some(states) = resume {
+            assert_eq!(
+                states.len(),
+                k,
+                "checkpoint has {} ranks, run has {k}: rank-count elasticity on resume \
+                 is not supported",
+                states.len()
+            );
+        }
+        let start_epoch = resume.map_or(0, |s| s[0].epoch as usize);
+        assert!(
+            start_epoch <= config.epochs,
+            "checkpoint epoch {start_epoch} is beyond the configured {} epochs",
+            config.epochs
+        );
         let rank_data = prepare_rank_data(dataset, pg);
         let global_train = dataset.train_mask.len().max(1) as f32;
 
@@ -269,10 +315,23 @@ impl DistTrainer {
                 weight_decay: config.weight_decay,
                 ..AdamConfig::with_lr(config.lr)
             });
-            let mut agg =
-                RankAggregator::new(ctx, pg, config.mode, config.kernel)
-                    .with_wire_precision(config.wire_precision);
-            let mut epochs = Vec::with_capacity(config.epochs);
+            let mut agg = RankAggregator::new(ctx, pg, config.mode, config.kernel)
+                .with_wire_precision(config.wire_precision)
+                .with_retry_policy(config.retry);
+            if let Some(states) = resume {
+                let st = &states[me];
+                model.read_params(&st.params);
+                adam.read_state(&st.adam);
+                agg.import_state(&st.drpa);
+                ctx.restore_outbox(&wires_to_msgs(&st.outbox));
+                // Publish the restored mailboxes before anyone receives:
+                // without this barrier a fast rank reaches its first
+                // tagged receive while a slow peer is still re-posting,
+                // silently misses the in-flight partial, and the run
+                // drifts off the uninterrupted trajectory.
+                ctx.barrier();
+            }
+            let mut epochs = Vec::with_capacity(config.epochs - start_epoch);
 
             // Per-rank epoch buffers, reused across epochs.
             let n_local = data.features.rows();
@@ -281,9 +340,16 @@ impl DistTrainer {
             let mut flat = Vec::new();
 
             let mut failure = None;
-            for e in 0..config.epochs {
+            for e in start_epoch..config.epochs {
                 let t0 = Instant::now();
                 agg.set_epoch(e as u64);
+                // Fail-stop poll: a crash rule is a pure function of
+                // the epoch, so every rank reaches the same verdict at
+                // the same program point and tears down collectively.
+                if let Some(err) = ctx.check_crashed() {
+                    failure = Some((e, err));
+                    break;
+                }
                 agg.take_times();
                 model.forward_into(&mut agg, &data.features, &mut ws);
 
@@ -323,6 +389,22 @@ impl DistTrainer {
                 if let Some(err) = agg.take_error() {
                     failure = Some((e, err));
                     break;
+                }
+
+                // Consistent snapshot at the epoch barrier: every rank
+                // passed the same error poll, so all ranks enter the
+                // checkpoint protocol together or not at all.
+                if config.checkpoint_every > 0 && (e + 1) % config.checkpoint_every == 0 {
+                    if let Some(dir) = &config.checkpoint_dir {
+                        write_cluster_checkpoint(
+                            ctx,
+                            dir,
+                            (e + 1) as u64,
+                            &model,
+                            &adam,
+                            &agg,
+                        );
+                    }
                 }
             }
 
@@ -373,7 +455,7 @@ impl DistTrainer {
             return Err(DistError { rank, epoch, source });
         }
 
-        let epochs = (0..config.epochs)
+        let epochs = (0..results[0].epochs.len())
             .map(|e| DistEpochReport {
                 loss: results[0].epochs[e].loss,
                 lat: results.iter().map(|r| r.epochs[e].lat).max().unwrap(),
@@ -396,6 +478,208 @@ impl DistTrainer {
             partition_edges: pg.parts.iter().map(|p| p.graph.num_edges()).collect(),
         })
     }
+}
+
+/// Outcome of a supervised, crash-recovering run.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// The report of the final (successful) training attempt.
+    pub run: DistRunReport,
+    /// Restarts taken after failed attempts.
+    pub restarts: usize,
+    /// Epochs re-executed because they post-dated the last checkpoint.
+    pub epochs_replayed: usize,
+    /// Collective retries absorbed by the final attempt's
+    /// [`RetryPolicy`] (summed over ranks).
+    pub retries_absorbed: u64,
+    /// Barriers spent backing off during those retries.
+    pub backoff_barriers: u64,
+    /// The error each failed attempt died with, in order.
+    pub failures: Vec<DistError>,
+}
+
+impl DistTrainer {
+    /// Supervised training with elastic crash recovery: runs
+    /// [`DistTrainer::try_run_on`]; on a [`DistError`] reloads the
+    /// newest *valid* checkpoint under `config.checkpoint_dir` (a
+    /// corrupt one falls back to the one before it) and relaunches, up
+    /// to `max_restarts` times. With `resume`, the first attempt also
+    /// starts from the newest checkpoint instead of from scratch.
+    ///
+    /// Restarted attempts run with [`FaultPlan::none`]: the injected
+    /// fault killed the previous incarnation of the cluster and does
+    /// not survive into the new one. Combined with checkpoints that
+    /// capture params, optimizer moments, DRPA caches and in-flight
+    /// messages, a killed-and-recovered run finishes with parameters
+    /// bit-identical to an uninterrupted same-seed run.
+    pub fn try_run_recovering(
+        dataset: &Dataset,
+        config: &DistConfig,
+        max_restarts: usize,
+        resume: bool,
+    ) -> Result<RecoveryReport, DistError> {
+        let edges = dataset.graph.to_edge_list();
+        let partitioning = libra_partition(&edges, config.num_parts);
+        let pg = PartitionedGraph::build(&edges, &partitioning, config.seed);
+        Self::try_run_recovering_on(dataset, &pg, config, max_restarts, resume)
+    }
+
+    /// [`DistTrainer::try_run_recovering`] on a pre-built partitioning.
+    pub fn try_run_recovering_on(
+        dataset: &Dataset,
+        pg: &PartitionedGraph,
+        config: &DistConfig,
+        max_restarts: usize,
+        resume: bool,
+    ) -> Result<RecoveryReport, DistError> {
+        let mut cfg = config.clone();
+        let mut restarts = 0usize;
+        let mut epochs_replayed = 0usize;
+        let mut failures = Vec::new();
+        let mut states = if resume {
+            load_newest_valid_checkpoint(cfg.checkpoint_dir.as_deref())
+        } else {
+            None
+        };
+        loop {
+            match Self::try_run_resumed(dataset, pg, &cfg, states.as_deref()) {
+                Ok(run) => {
+                    let retries_absorbed =
+                        run.per_rank_comm.iter().map(|s| s.retries_attempted).sum();
+                    let backoff_barriers =
+                        run.per_rank_comm.iter().map(|s| s.backoff_barriers).sum();
+                    return Ok(RecoveryReport {
+                        run,
+                        restarts,
+                        epochs_replayed,
+                        retries_absorbed,
+                        backoff_barriers,
+                        failures,
+                    });
+                }
+                Err(err) => {
+                    if restarts >= max_restarts {
+                        return Err(err);
+                    }
+                    restarts += 1;
+                    // The fault plan modelled the failure of the *old*
+                    // cluster incarnation; the relaunched one starts
+                    // with a clean bill of health (epoch-keyed rules
+                    // would otherwise re-fire on every replay).
+                    cfg.faults = FaultPlan::none();
+                    states = load_newest_valid_checkpoint(cfg.checkpoint_dir.as_deref());
+                    let resume_epoch = states.as_ref().map_or(0, |s| s[0].epoch as usize);
+                    epochs_replayed += err.epoch.saturating_sub(resume_epoch);
+                    failures.push(err);
+                }
+            }
+        }
+    }
+}
+
+/// Newest checkpoint under `dir` that loads and validates completely; a
+/// corrupt or torn checkpoint is skipped in favour of the previous one.
+fn load_newest_valid_checkpoint(dir: Option<&Path>) -> Option<Vec<TrainState>> {
+    let dir = dir?;
+    list_checkpoints(dir)
+        .into_iter()
+        .rev()
+        .find_map(|(_, path)| load_cluster_state(&path).ok())
+}
+
+fn wires_to_msgs(wires: &[PendingWire]) -> Vec<PendingMsg> {
+    wires
+        .iter()
+        .map(|w| PendingMsg {
+            dst: w.dst as usize,
+            tag: w.tag,
+            remaining_delay: w.remaining_delay,
+            payload: w.payload.clone(),
+        })
+        .collect()
+}
+
+fn msgs_to_wires(msgs: Vec<PendingMsg>) -> Vec<PendingWire> {
+    msgs.into_iter()
+        .map(|m| PendingWire {
+            dst: m.dst as u64,
+            tag: m.tag,
+            remaining_delay: m.remaining_delay,
+            payload: m.payload,
+        })
+        .collect()
+}
+
+/// The consistent-checkpoint protocol, entered by all ranks at the same
+/// epoch barrier:
+///
+/// 1. rank 0 checks whether `ckpt-<epoch>` is already committed (a
+///    replayed epoch after recovery) and broadcasts the verdict — a
+///    commit is immutable, and renaming over a non-empty directory
+///    would fail anyway;
+/// 2. rank 0 (re)creates `ckpt-<epoch>.tmp/`; a barrier publishes it;
+/// 3. every rank serializes its [`TrainState`] into the staging
+///    directory and *votes* on success — a rank that panicked on an
+///    I/O error instead would strand its peers at the next barrier;
+/// 4. on a unanimous vote, rank 0 writes the manifest and commits with
+///    an atomic directory rename; any failure aborts the checkpoint
+///    (training continues — a missed snapshot only costs replay time).
+fn write_cluster_checkpoint(
+    ctx: &RankCtx<'_>,
+    dir: &Path,
+    epoch: u64,
+    model: &GraphSage,
+    adam: &Adam,
+    agg: &RankAggregator<'_, '_>,
+) {
+    let k = ctx.size();
+    let me = ctx.rank();
+    let committed = dir.join(format!("ckpt-{epoch}"));
+    let staging = dir.join(format!("ckpt-{epoch}.tmp"));
+
+    let mut skip = [0.0f32];
+    if me == 0 && committed.exists() {
+        skip[0] = 1.0;
+    }
+    ctx.all_reduce_sum(&mut skip);
+    if skip[0] > 0.5 {
+        return;
+    }
+
+    let mut ok = true;
+    if me == 0 {
+        let _ = std::fs::remove_dir_all(&staging);
+        ok = std::fs::create_dir_all(&staging).is_ok();
+    }
+    ctx.barrier();
+
+    let state = TrainState {
+        epoch,
+        rank: me as u32,
+        ranks: k as u32,
+        params: model.write_params(),
+        adam: adam.write_state(),
+        drpa: agg.export_state(),
+        outbox: msgs_to_wires(ctx.export_outbox()),
+    };
+    ok = ok && save_train_state(&staging.join(format!("rank-{me}.state")), &state).is_ok();
+
+    let mut vote = [f32::from(ok)];
+    ctx.all_reduce_sum(&mut vote);
+    if vote[0] < k as f32 - 0.5 {
+        if me == 0 {
+            let _ = std::fs::remove_dir_all(&staging);
+        }
+    } else if me == 0 {
+        let committed_ok = save_cluster_manifest(&staging, epoch, k).is_ok()
+            && std::fs::rename(&staging, &committed).is_ok();
+        if !committed_ok {
+            let _ = std::fs::remove_dir_all(&staging);
+        }
+    }
+    // No rank resumes training (where the next fault may kill it)
+    // until the commit decision is on disk.
+    ctx.barrier();
 }
 
 /// Softmax cross-entropy over `ids` with per-row weights, normalized by

@@ -29,7 +29,8 @@
 
 use crate::dist::{DistMode, WirePrecision};
 use crate::model::Aggregator;
-use distgnn_comm::{CommError, RankCtx};
+use distgnn_comm::{CommError, RankCtx, RetryPolicy};
+use distgnn_io::{DrpaState, RouteCacheState};
 use distgnn_kernels::gcn::gcn_normalize;
 use distgnn_kernels::{AggregationConfig, BinaryOp, PreparedAggregation, ReduceOp};
 use distgnn_partition::setup::Route;
@@ -159,6 +160,7 @@ pub struct RankAggregator<'a, 'b> {
     binned_in: Vec<BinnedRoute>,
     fwd_state: CdrState,
     precision: WirePrecision,
+    retry: RetryPolicy,
     epoch: u64,
     /// First communication failure observed by a sync; forward/backward
     /// cannot return errors through the `Aggregator` trait, so the
@@ -203,6 +205,7 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
             binned_in,
             fwd_state: CdrState::default(),
             precision: WirePrecision::Fp32,
+            retry: RetryPolicy::standard(),
             epoch: 0,
             error: None,
             lat: Duration::ZERO,
@@ -216,6 +219,64 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
     pub fn with_wire_precision(mut self, precision: WirePrecision) -> Self {
         self.precision = precision;
         self
+    }
+
+    /// Selects the retry policy for blocking collectives; the default
+    /// is [`RetryPolicy::standard`], so transient delay faults cost
+    /// bounded extra barriers instead of a collective abort.
+    /// [`RetryPolicy::none`] restores fail-fast semantics.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Serializes the `cd-r` cross-epoch caches for a checkpoint.
+    /// Empty for `0c` / `cd-0` (those modes keep no comm state).
+    pub fn export_state(&self) -> DrpaState {
+        let convert = |caches: &Vec<Vec<RouteCache>>| {
+            caches
+                .iter()
+                .map(|layer| {
+                    layer
+                        .iter()
+                        .map(|c| RouteCacheState {
+                            data: c.data.clone(),
+                            valid: c.valid.clone(),
+                            bin_refresh: c.bin_refresh.clone(),
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        DrpaState {
+            root: convert(&self.fwd_state.root),
+            leaf: convert(&self.fwd_state.leaf),
+        }
+    }
+
+    /// Restores caches exported by [`RankAggregator::export_state`].
+    /// Replaying from the checkpoint epoch then reproduces the same
+    /// staleness trajectory a never-interrupted run would have seen.
+    pub fn import_state(&mut self, state: &DrpaState) {
+        let convert = |caches: &Vec<Vec<RouteCacheState>>| {
+            caches
+                .iter()
+                .map(|layer| {
+                    layer
+                        .iter()
+                        .map(|c| RouteCache {
+                            data: c.data.clone(),
+                            valid: c.valid.clone(),
+                            bin_refresh: c.bin_refresh.clone(),
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        self.fwd_state = CdrState {
+            root: convert(&state.root),
+            leaf: convert(&state.leaf),
+        };
     }
 
     /// Sets the current epoch; `cd-r` tags its messages with it, and
@@ -278,12 +339,14 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
         match self.mode {
             DistMode::Oc => {}
             DistMode::Cd0 => {
-                self.error = sync_blocking(self.ctx, &self.topo(), m, self.precision).err();
+                self.error =
+                    sync_blocking(self.ctx, &self.topo(), m, self.precision, &self.retry).err();
             }
             DistMode::CdR { delay } => {
                 if delay == 0 {
                     self.error =
-                        sync_blocking(self.ctx, &self.topo(), m, self.precision).err();
+                        sync_blocking(self.ctx, &self.topo(), m, self.precision, &self.retry)
+                            .err();
                 } else if !backward {
                     let topo = SyncTopo {
                         routes_out: &self.routes_out,
@@ -360,15 +423,18 @@ impl Aggregator for RankAggregator<'_, '_> {
 }
 
 /// Synchronous reduce-broadcast over the clone trees (cd-0), for
-/// aggregates and gradients alike. A missing peer payload aborts the
-/// sync on *every* rank (the AlltoAllv error is collective), leaving
-/// `m` partially updated — callers must treat `Err` as fatal for the
+/// aggregates and gradients alike. Transient delivery faults are
+/// absorbed by `retry` (bounded barrier-stepped backoff); once the
+/// policy is exhausted, a missing peer payload aborts the sync on
+/// *every* rank (the AlltoAllv error is collective), leaving `m`
+/// partially updated — callers must treat `Err` as fatal for the
 /// epoch.
 fn sync_blocking(
     ctx: &RankCtx<'_>,
     topo: &SyncTopo<'_>,
     m: &mut Matrix,
     prec: WirePrecision,
+    retry: &RetryPolicy,
 ) -> Result<(), CommError> {
     let k = ctx.size();
     let d = m.cols();
@@ -376,7 +442,7 @@ fn sync_blocking(
     let outgoing: Vec<Vec<f32>> = (0..k)
         .map(|p| encode(prec, gather_rows(m, &topo.routes_out[p].leaf_locals, d)))
         .collect();
-    let incoming = ctx.all_to_all_v(outgoing)?;
+    let incoming = ctx.all_to_all_v_retry(outgoing, retry)?;
     for (q, payload) in incoming.iter().enumerate() {
         let len = topo.routes_in[q].root_locals.len() * d;
         let payload = decode(prec, payload, len);
@@ -386,7 +452,7 @@ fn sync_blocking(
     let outgoing: Vec<Vec<f32>> = (0..k)
         .map(|q| encode(prec, gather_rows(m, &topo.routes_in[q].root_locals, d)))
         .collect();
-    let incoming = ctx.all_to_all_v(outgoing)?;
+    let incoming = ctx.all_to_all_v_retry(outgoing, retry)?;
     for (p, payload) in incoming.iter().enumerate() {
         let len = topo.routes_out[p].leaf_locals.len() * d;
         let payload = decode(prec, payload, len);

@@ -29,6 +29,8 @@ pub mod single;
 pub mod variants;
 pub mod workmodel;
 
-pub use dist::{DistConfig, DistEpochReport, DistError, DistMode, DistTrainer};
+pub use dist::{
+    DistConfig, DistEpochReport, DistError, DistMode, DistTrainer, RecoveryReport,
+};
 pub use model::{Aggregator, GraphSage, LayerWorkspace, SageConfig, SageWorkspace};
 pub use single::{SingleSocketAggregator, Trainer, TrainerConfig};

@@ -1,0 +1,116 @@
+//! Crash-safe writes and payload checksums, shared by every saver.
+//!
+//! All on-disk artifacts are written to a sibling temp file first and
+//! atomically renamed into place, so a reader never observes a
+//! half-written file — a crash mid-write leaves either the old file or
+//! nothing. Binary payloads additionally carry a CRC32 so bit flips
+//! and truncation surface as [`crate::IoError::Corrupt`] instead of
+//! silently corrupted training state.
+
+use crate::IoError;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the same
+/// checksum zlib/PNG use, hand-rolled because the workspace is
+/// dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Writes `bytes` to `path` atomically: a uniquely-named sibling temp
+/// file is written, fsynced, and renamed over the target. Readers see
+/// the old contents or the new, never a prefix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), IoError> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| IoError::Format(format!("cannot atomically write to `{}`", path.display())))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp-{}-{n}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result.map_err(IoError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp_path;
+
+    /// The standard CRC-32 check value: crc32("123456789").
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = vec![0xA5u8; 256];
+        let clean = crc32(&data);
+        for byte in [0usize, 17, 255] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_completely() {
+        let p = temp_path("atomic");
+        atomic_write(&p, b"first version").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first version");
+        atomic_write(&p, b"second").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second");
+        // No temp litter left beside the target.
+        let dir = p.parent().unwrap();
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        let litter = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let f = e.file_name().to_string_lossy().into_owned();
+                f.starts_with(&format!(".{name}.tmp-"))
+            })
+            .count();
+        assert_eq!(litter, 0, "temp files must not outlive the write");
+        std::fs::remove_file(&p).ok();
+    }
+}

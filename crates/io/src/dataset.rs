@@ -11,17 +11,19 @@
 
 use crate::edgelist::{load_edge_list, save_edge_list};
 use crate::matrix::{load_matrix, save_matrix};
+use crate::atomic::atomic_write;
 use crate::{format_err, IoError};
 use distgnn_graph::{Csr, Dataset};
 use std::fs;
 use std::path::Path;
 
-/// Saves `dataset` into directory `dir` (created if absent).
+/// Saves `dataset` into directory `dir` (created if absent). Each file
+/// is written atomically.
 pub fn save_dataset(dir: &Path, dataset: &Dataset) -> Result<(), IoError> {
     fs::create_dir_all(dir)?;
-    fs::write(
-        dir.join("meta.txt"),
-        format!("name {}\nnum_classes {}\n", dataset.name, dataset.num_classes),
+    atomic_write(
+        &dir.join("meta.txt"),
+        format!("name {}\nnum_classes {}\n", dataset.name, dataset.num_classes).as_bytes(),
     )?;
     save_edge_list(&dir.join("graph.el"), &dataset.graph.to_edge_list())?;
     save_matrix(&dir.join("features.mat"), &dataset.features)?;
@@ -84,8 +86,7 @@ fn write_ids(path: &Path, ids: &[usize]) -> Result<(), IoError> {
         s.push_str(&v.to_string());
         s.push('\n');
     }
-    fs::write(path, s)?;
-    Ok(())
+    atomic_write(path, s.as_bytes())
 }
 
 fn read_ids(path: &Path) -> Result<Vec<usize>, IoError> {

@@ -1,21 +1,22 @@
 //! Text edge-list format (`.el`).
 
+use crate::atomic::atomic_write;
 use crate::{format_err, IoError};
 use distgnn_graph::EdgeList;
+use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 /// Writes `edges` as `num_vertices num_edges\n` followed by one
-/// `src dst` pair per line.
+/// `src dst` pair per line, atomically.
 pub fn save_edge_list(path: &Path, edges: &EdgeList) -> Result<(), IoError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "{} {}", edges.num_vertices(), edges.num_edges())?;
+    let mut s = String::with_capacity(16 + edges.num_edges() * 12);
+    let _ = writeln!(s, "{} {}", edges.num_vertices(), edges.num_edges());
     for (_, u, v) in edges.iter() {
-        writeln!(w, "{u} {v}")?;
+        let _ = writeln!(s, "{u} {v}");
     }
-    w.flush()?;
-    Ok(())
+    atomic_write(path, s.as_bytes())
 }
 
 /// Reads an edge list written by [`save_edge_list`]. Edge order (and

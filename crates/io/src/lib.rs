@@ -14,18 +14,29 @@
 //!   splits;
 //! - **partitionings** — Libra's edge assignment, so a partition can be
 //!   computed once and reused across runs and modes;
-//! - **checkpoints** — flat model parameters for resuming training.
+//! - **checkpoints** — versioned [`checkpoint::TrainState`] snapshots
+//!   (model params, Adam moments, DRPA caches, in-flight messages) for
+//!   crash recovery, plus the flat parameter dump.
 //!
 //! All formats round-trip exactly (bit-exact for f32 payloads) and are
-//! validated on load with descriptive errors.
+//! validated on load with descriptive errors. Every saver writes
+//! through [`atomic::atomic_write`] (temp file + rename), and binary
+//! payloads carry CRC32 checksums so corruption surfaces as
+//! [`IoError::Corrupt`] instead of silently poisoned training state.
 
+pub mod atomic;
 pub mod checkpoint;
 pub mod dataset;
 pub mod edgelist;
 pub mod matrix;
 pub mod partition;
 
-pub use checkpoint::{load_params, save_params};
+pub use atomic::{atomic_write, crc32};
+pub use checkpoint::{
+    latest_checkpoint, list_checkpoints, load_cluster_state, load_params, load_train_state,
+    save_cluster_manifest, save_params, save_train_state, DrpaState, PendingWire,
+    RouteCacheState, TrainState,
+};
 pub use dataset::{load_dataset, save_dataset};
 pub use edgelist::{load_edge_list, save_edge_list};
 pub use matrix::{load_matrix, save_matrix};
@@ -40,6 +51,9 @@ pub enum IoError {
     Io(io::Error),
     /// The file parsed but violated the format (message explains how).
     Format(String),
+    /// The file matched the format but its contents are damaged —
+    /// truncated payload or checksum mismatch (bit rot, torn write).
+    Corrupt(String),
 }
 
 impl fmt::Display for IoError {
@@ -47,6 +61,7 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Format(m) => write!(f, "format error: {m}"),
+            IoError::Corrupt(m) => write!(f, "corrupt file: {m}"),
         }
     }
 }
@@ -61,6 +76,10 @@ impl From<io::Error> for IoError {
 
 pub(crate) fn format_err<T>(msg: impl Into<String>) -> Result<T, IoError> {
     Err(IoError::Format(msg.into()))
+}
+
+pub(crate) fn corrupt_err<T>(msg: impl Into<String>) -> Result<T, IoError> {
+    Err(IoError::Corrupt(msg.into()))
 }
 
 /// A fresh unique path under the system temp dir (test helper).

@@ -1,47 +1,77 @@
-//! Binary matrix format (`.mat`): magic, dims, little-endian f32 data.
+//! Binary matrix format (`.mat`): magic, dims, little-endian f32 data,
+//! CRC32 footer.
+//!
+//! Version 2 (`DGNNMAT2`) appends a CRC32 over everything after the
+//! magic, so truncation and bit flips surface as [`IoError::Corrupt`].
+//! Legacy `DGNNMAT1` files (no checksum) still load. Writes go through
+//! [`crate::atomic::atomic_write`] — a crash mid-save never leaves a
+//! half-written matrix behind.
 
-use crate::{format_err, IoError};
+use crate::atomic::{atomic_write, crc32};
+use crate::{corrupt_err, format_err, IoError};
 use distgnn_tensor::Matrix;
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"DGNNMAT1";
+const MAGIC_V1: &[u8; 8] = b"DGNNMAT1";
+const MAGIC_V2: &[u8; 8] = b"DGNNMAT2";
 
-/// Writes `m` as magic + u64 rows + u64 cols + row-major f32 LE.
+/// Writes `m` as magic + u64 rows + u64 cols + row-major f32 LE +
+/// CRC32 (over dims and payload), atomically.
 pub fn save_matrix(path: &Path, m: &Matrix) -> Result<(), IoError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&(m.rows() as u64).to_le_bytes())?;
-    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(8 + 16 + m.as_slice().len() * 4 + 4);
+    buf.extend_from_slice(MAGIC_V2);
+    buf.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+    buf.extend_from_slice(&(m.cols() as u64).to_le_bytes());
     for &x in m.as_slice() {
-        w.write_all(&x.to_le_bytes())?;
+        buf.extend_from_slice(&x.to_le_bytes());
     }
-    w.flush()?;
-    Ok(())
+    let crc = crc32(&buf[8..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    atomic_write(path, &buf)
 }
 
-/// Reads a matrix written by [`save_matrix`], bit-exactly.
+/// Reads a matrix written by [`save_matrix`], bit-exactly, verifying
+/// the checksum (v2) or accepting the legacy unchecksummed layout (v1).
 pub fn load_matrix(path: &Path) -> Result<Matrix, IoError> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return format_err("not a DGNNMAT1 file");
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 {
+        return format_err("file too short for a matrix magic");
     }
-    let mut dim = [0u8; 8];
-    r.read_exact(&mut dim)?;
-    let rows = u64::from_le_bytes(dim) as usize;
-    r.read_exact(&mut dim)?;
-    let cols = u64::from_le_bytes(dim) as usize;
+    let (magic, rest) = bytes.split_at(8);
+    let body = match magic {
+        m if m == MAGIC_V2 => {
+            if rest.len() < 4 {
+                return corrupt_err("matrix truncated before its checksum");
+            }
+            let (body, footer) = rest.split_at(rest.len() - 4);
+            let stored = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
+            let actual = crc32(body);
+            if stored != actual {
+                return corrupt_err(format!(
+                    "matrix checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                ));
+            }
+            body
+        }
+        m if m == MAGIC_V1 => rest,
+        _ => return format_err("not a DGNNMAT file"),
+    };
+    if body.len() < 16 {
+        return corrupt_err("matrix truncated inside its dims header");
+    }
+    let rows = u64::from_le_bytes(body[0..8].try_into().expect("8-byte dim")) as usize;
+    let cols = u64::from_le_bytes(body[8..16].try_into().expect("8-byte dim")) as usize;
     let count = rows
         .checked_mul(cols)
         .ok_or_else(|| IoError::Format("dims overflow".into()))?;
-    let mut bytes = vec![0u8; count * 4];
-    r.read_exact(&mut bytes).map_err(|_| {
-        IoError::Format(format!("truncated payload: expected {count} f32s"))
-    })?;
-    let data = bytes
+    let payload = &body[16..];
+    if payload.len() != count * 4 {
+        return corrupt_err(format!(
+            "truncated payload: expected {count} f32s, found {} bytes",
+            payload.len()
+        ));
+    }
+    let data = payload
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
@@ -94,7 +124,39 @@ mod tests {
         save_matrix(&p, &m).unwrap();
         let full = std::fs::read(&p).unwrap();
         std::fs::write(&p, &full[..full.len() - 8]).unwrap();
-        assert!(matches!(load_matrix(&p), Err(IoError::Format(_))));
+        assert!(matches!(load_matrix(&p), Err(IoError::Corrupt(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    /// A single flipped payload bit fails the CRC — the corruption the
+    /// v1 format silently loaded as wrong numbers.
+    #[test]
+    fn detects_bit_flips_in_the_payload() {
+        let p = temp_path("mat-flip");
+        save_matrix(&p, &random_features(6, 6, 7)).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = 8 + 16 + 40; // 10 floats into the payload
+        bytes[mid] ^= 0x01;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(load_matrix(&p), Err(IoError::Corrupt(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    /// Legacy `DGNNMAT1` files (written before the checksum existed)
+    /// still load bit-exactly.
+    #[test]
+    fn accepts_legacy_v1_files() {
+        let m = random_features(3, 5, 11);
+        let p = temp_path("mat-v1");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DGNNMAT1");
+        buf.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+        buf.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+        for &x in m.as_slice() {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        std::fs::write(&p, &buf).unwrap();
+        assert_eq!(load_matrix(&p).unwrap(), m);
         std::fs::remove_file(&p).ok();
     }
 }

@@ -6,22 +6,23 @@
 //! which guarantees the invariants hold for whatever edge list the
 //! caller pairs it with.
 
+use crate::atomic::atomic_write;
 use crate::{format_err, IoError};
 use distgnn_graph::EdgeList;
 use distgnn_partition::{PartId, Partitioning};
+use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
-/// Writes the edge assignment of `p`.
+/// Writes the edge assignment of `p`, atomically.
 pub fn save_partitioning(path: &Path, p: &Partitioning) -> Result<(), IoError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "{} {} {}", p.num_parts, p.num_vertices, p.edge_assign.len())?;
+    let mut s = String::with_capacity(24 + p.edge_assign.len() * 3);
+    let _ = writeln!(s, "{} {} {}", p.num_parts, p.num_vertices, p.edge_assign.len());
     for &a in &p.edge_assign {
-        writeln!(w, "{a}")?;
+        let _ = writeln!(s, "{a}");
     }
-    w.flush()?;
-    Ok(())
+    atomic_write(path, s.as_bytes())
 }
 
 /// Loads an edge assignment and rebuilds the full [`Partitioning`]

@@ -3,9 +3,11 @@
 
 use distgnn_graph::EdgeList;
 use distgnn_io::{
-    load_edge_list, load_matrix, load_partitioning, save_edge_list, save_matrix,
-    save_partitioning, temp_path,
+    load_edge_list, load_matrix, load_partitioning, load_train_state, save_edge_list,
+    save_matrix, save_partitioning, save_train_state, temp_path, DrpaState, IoError,
+    PendingWire, RouteCacheState, TrainState,
 };
+use distgnn_nn::AdamState;
 use distgnn_partition::libra_partition;
 use distgnn_tensor::Matrix;
 use proptest::prelude::*;
@@ -57,4 +59,121 @@ proptest! {
         prop_assert_eq!(load_partitioning(&p, &el).unwrap(), part);
         std::fs::remove_file(&p).ok();
     }
+
+    /// Arbitrary well-formed checkpoints round-trip identically —
+    /// every section, including `None` Adam slots, empty route caches
+    /// and in-flight messages with non-zero visibility delays.
+    #[test]
+    fn train_states_round_trip(st in arb_train_state()) {
+        let p = temp_path("prop-ckpt");
+        save_train_state(&p, &st).unwrap();
+        prop_assert_eq!(load_train_state(&p).unwrap(), st);
+        std::fs::remove_file(&p).ok();
+    }
+
+    /// Any single bit flip anywhere in a saved checkpoint is rejected:
+    /// header damage surfaces as `Format`, payload damage as a
+    /// `Corrupt` CRC mismatch — never as a silently different state.
+    #[test]
+    fn train_state_bit_flips_never_load_silently(
+        st in arb_train_state(),
+        pos_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let p = temp_path("prop-ckpt-flip");
+        save_train_state(&p, &st).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&p, &bytes).unwrap();
+        match load_train_state(&p) {
+            Err(IoError::Format(_) | IoError::Corrupt(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+            // The flip may land in dead header padding-free space only
+            // if it reconstructs the original byte — impossible for a
+            // single xor — so a clean load must return the exact state.
+            Ok(back) => prop_assert!(
+                false,
+                "corrupted checkpoint loaded silently (flip at byte {pos} bit {bit}): {back:?}"
+            ),
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    /// Truncating a checkpoint at any prefix length is rejected.
+    #[test]
+    fn truncated_train_states_are_rejected(st in arb_train_state(), frac in 0.0f64..1.0) {
+        let p = temp_path("prop-ckpt-trunc");
+        save_train_state(&p, &st).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let keep = ((bytes.len() - 1) as f64 * frac) as usize;
+        std::fs::write(&p, &bytes[..keep]).unwrap();
+        prop_assert!(
+            matches!(load_train_state(&p), Err(IoError::Format(_) | IoError::Corrupt(_))),
+            "a {keep}-byte prefix of a {}-byte checkpoint must not load",
+            bytes.len()
+        );
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+fn arb_f32s(max: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-1000i32..1000).prop_map(|x| x as f32 / 16.0), 0..max)
+}
+
+fn arb_route_cache() -> impl Strategy<Value = RouteCacheState> {
+    (
+        arb_f32s(24),
+        proptest::collection::vec(any::<bool>(), 0..8),
+        proptest::collection::vec(
+            (any::<bool>(), 0u64..100).prop_map(|(set, e)| set.then_some(e)),
+            0..4,
+        ),
+    )
+        .prop_map(|(data, valid, bin_refresh)| RouteCacheState { data, valid, bin_refresh })
+}
+
+fn arb_train_state() -> impl Strategy<Value = TrainState> {
+    let adam = (
+        0u64..1000,
+        proptest::collection::vec(
+            // The format requires matching m/v lengths, so derive v
+            // from m instead of generating it independently.
+            (any::<bool>(), arb_f32s(8)).prop_map(|(set, m)| {
+                set.then(|| {
+                    let v = m.iter().map(|x| x * x * 0.25).collect();
+                    (m, v)
+                })
+            }),
+            0..4,
+        ),
+    )
+        .prop_map(|(t, slots)| AdamState { t, slots });
+    let drpa = (
+        proptest::collection::vec(proptest::collection::vec(arb_route_cache(), 0..3), 0..3),
+        proptest::collection::vec(proptest::collection::vec(arb_route_cache(), 0..3), 0..3),
+    )
+        .prop_map(|(root, leaf)| DrpaState { root, leaf });
+    let outbox = proptest::collection::vec(
+        (0u64..8, any::<u64>(), 0u64..16, arb_f32s(16)).prop_map(
+            |(dst, tag, remaining_delay, payload)| PendingWire {
+                dst,
+                tag,
+                remaining_delay,
+                payload,
+            },
+        ),
+        0..5,
+    );
+    (0u64..10_000, 0u32..64, 1u32..64, arb_f32s(64), adam, drpa, outbox).prop_map(
+        |(epoch, rank, ranks, params, adam, drpa, outbox)| TrainState {
+            epoch,
+            rank,
+            ranks,
+            params,
+            adam,
+            drpa,
+            outbox,
+        },
+    )
 }

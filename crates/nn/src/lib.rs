@@ -19,4 +19,4 @@ pub mod optim;
 
 pub use linear::Linear;
 pub use loss::{masked_cross_entropy, masked_cross_entropy_into, CrossEntropyResult};
-pub use optim::{Adam, AdamConfig, Sgd};
+pub use optim::{Adam, AdamConfig, AdamState, Sgd};

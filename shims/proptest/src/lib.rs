@@ -181,7 +181,15 @@ macro_rules! tuple_strategy {
         }
     )*};
 }
-tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H)
+);
 
 // ------------------------------------------------------------ arbitrary
 
