@@ -1,0 +1,210 @@
+//! Distributed-path benchmark: emits `BENCH_dist.json`.
+//!
+//! For each algorithm of §5.3 (`0c`, `cd-0`, `cd-r`) on a synthetic
+//! graph, measures per-epoch time with telemetry recording OFF and ON,
+//! reports the median-epoch overhead of recording (acceptance bound:
+//! < 2%), checks the trained parameters are bit-identical either way,
+//! and records the per-rank phase breakdown (Fig. 10/11 shape) from the
+//! recording run.
+
+use distgnn_bench::{header, millis, print_table};
+use distgnn_core::{build_metrics, DistConfig, DistMode, DistTrainer};
+use distgnn_graph::{Dataset, ScaledConfig};
+use distgnn_partition::{libra_partition, PartitionedGraph};
+use distgnn_telemetry::{Phase, PhaseKind, TelemetryHub, PHASES};
+use std::time::Duration;
+
+struct AlgoRow {
+    name: String,
+    median_off_ms: f64,
+    median_on_ms: f64,
+    overhead_pct: f64,
+    params_identical: bool,
+    /// Cluster-total exclusive phase time, ns, recording run.
+    phase_ns: [u64; distgnn_telemetry::PHASE_COUNT],
+    comm_bytes: u64,
+    retries: u64,
+}
+
+fn median_ms(epochs: &[Duration]) -> f64 {
+    let mut ms: Vec<f64> = epochs.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    ms.sort_by(|a, b| a.total_cmp(b));
+    if ms.is_empty() {
+        return 0.0;
+    }
+    let mid = ms.len() / 2;
+    if ms.len() % 2 == 1 {
+        ms[mid]
+    } else {
+        (ms[mid - 1] + ms[mid]) / 2.0
+    }
+}
+
+fn run_algo(ds: &Dataset, pg: &PartitionedGraph, mode: DistMode, epochs: usize) -> AlgoRow {
+    let k = pg.num_parts();
+    let cfg = {
+        let mut c = DistConfig::new(ds, mode, k, epochs);
+        c.kernel = distgnn_kernels::AggregationConfig::optimized(1);
+        c
+    };
+
+    let off = DistTrainer::try_run_on(ds, pg, &cfg).expect("recording-off run");
+    let hub = TelemetryHub::new(k, Default::default());
+    let on = DistTrainer::try_run_on_with_telemetry(ds, pg, &cfg, &hub).expect("recording-on run");
+
+    let reg = build_metrics(&cfg, &on, &hub);
+    let mut phase_ns = [0u64; distgnn_telemetry::PHASE_COUNT];
+    for r in 0..k {
+        for (dst, src) in phase_ns.iter_mut().zip(reg.rank(r).phase_ns) {
+            *dst += src;
+        }
+    }
+    let off_times: Vec<Duration> = off.epochs.iter().map(|e| e.epoch_time).collect();
+    let on_times: Vec<Duration> = on.epochs.iter().map(|e| e.epoch_time).collect();
+    let median_off_ms = median_ms(&off_times);
+    let median_on_ms = median_ms(&on_times);
+    AlgoRow {
+        name: mode.name(),
+        median_off_ms,
+        median_on_ms,
+        overhead_pct: (median_on_ms / median_off_ms.max(1e-9) - 1.0) * 100.0,
+        params_identical: off.final_params == on.final_params,
+        phase_ns,
+        comm_bytes: reg.total(distgnn_telemetry::Metric::BytesSent),
+        retries: reg.total(distgnn_telemetry::Metric::RetriesAttempted),
+    }
+}
+
+fn main() {
+    let sockets = 4usize;
+    let epochs = 12usize;
+    let ds = Dataset::generate(&ScaledConfig::products_s().scaled_by(0.3));
+    let edges = ds.graph.to_edge_list();
+    let partitioning = libra_partition(&edges, sockets);
+    let pg = PartitionedGraph::build(&edges, &partitioning, 0xD157);
+
+    header(&format!(
+        "BENCH dist: {} ({} vertices, {} edges), {sockets} sockets, {epochs} epochs",
+        ds.name,
+        ds.num_vertices(),
+        ds.graph.num_edges()
+    ));
+
+    let modes = [DistMode::Oc, DistMode::Cd0, DistMode::CdR { delay: 5 }];
+    let rows: Vec<AlgoRow> = modes.iter().map(|&m| run_algo(&ds, &pg, m, epochs)).collect();
+
+    print_table(
+        &["algo", "median off", "median on", "overhead", "params", "comm MiB", "retries"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.2} ms", r.median_off_ms),
+                    format!("{:.2} ms", r.median_on_ms),
+                    format!("{:+.2}%", r.overhead_pct),
+                    if r.params_identical { "bit-identical" } else { "DIVERGED" }.into(),
+                    format!("{:.2}", r.comm_bytes as f64 / (1 << 20) as f64),
+                    r.retries.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!("\nphase breakdown (cluster-total exclusive ms, recording run):");
+    print_table(
+        &["algo", "forward", "backward", "aggregate", "comm", "optimizer", "barrier"],
+        &rows
+            .iter()
+            .map(|r| {
+                let ms = |p: Phase| millis(Duration::from_nanos(r.phase_ns[p as usize]));
+                let comm =
+                    r.phase_ns[Phase::CommSend as usize] + r.phase_ns[Phase::CommWait as usize];
+                vec![
+                    r.name.clone(),
+                    ms(Phase::Forward),
+                    ms(Phase::Backward),
+                    ms(Phase::Aggregate),
+                    millis(Duration::from_nanos(comm)),
+                    ms(Phase::Optimizer),
+                    ms(Phase::Barrier),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let algo_json = rows
+        .iter()
+        .map(|r| {
+            let phases = PHASES
+                .iter()
+                .map(|&p| format!("\"{}\": {}", p.name(), r.phase_ns[p as usize]))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let (mut compute, mut comm, mut idle, mut io) = (0u64, 0u64, 0u64, 0u64);
+            for &p in &PHASES {
+                match p.kind() {
+                    PhaseKind::Compute => compute += r.phase_ns[p as usize],
+                    PhaseKind::Comm => comm += r.phase_ns[p as usize],
+                    PhaseKind::Idle => idle += r.phase_ns[p as usize],
+                    PhaseKind::Io => io += r.phase_ns[p as usize],
+                }
+            }
+            format!(
+                concat!(
+                    "    {{\"algo\": \"{name}\", ",
+                    "\"median_epoch_ms_recording_off\": {off:.4}, ",
+                    "\"median_epoch_ms_recording_on\": {on:.4}, ",
+                    "\"telemetry_overhead_pct\": {ovh:.3}, ",
+                    "\"params_bit_identical\": {ident}, ",
+                    "\"comm_bytes\": {bytes}, \"retries\": {retries}, ",
+                    "\"phase_ns\": {{{phases}}}, ",
+                    "\"breakdown_ns\": {{\"compute\": {compute}, \"comm\": {comm}, ",
+                    "\"idle\": {idle}, \"io\": {io}}}}}"
+                ),
+                name = r.name,
+                off = r.median_off_ms,
+                on = r.median_on_ms,
+                ovh = r.overhead_pct,
+                ident = r.params_identical,
+                bytes = r.comm_bytes,
+                retries = r.retries,
+                phases = phases,
+                compute = compute,
+                comm = comm,
+                idle = idle,
+                io = io,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"distributed phase breakdown + telemetry overhead\",\n",
+            "  \"command\": \"cargo run --release -p distgnn-bench --bin bench_dist\",\n",
+            "  \"dataset\": {{\"name\": \"{name}\", \"vertices\": {v}, \"edges\": {e}}},\n",
+            "  \"sockets\": {sockets},\n",
+            "  \"epochs\": {epochs},\n",
+            "  \"algorithms\": [\n{algos}\n  ]\n",
+            "}}\n"
+        ),
+        name = ds.name,
+        v = ds.num_vertices(),
+        e = ds.graph.num_edges(),
+        sockets = sockets,
+        epochs = epochs,
+        algos = algo_json,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json");
+    std::fs::write(path, &json).expect("write BENCH_dist.json");
+    println!("\nwrote {path}");
+
+    for r in &rows {
+        assert!(r.params_identical, "{}: recording perturbed training", r.name);
+    }
+    let worst = rows.iter().map(|r| r.overhead_pct).fold(f64::MIN, f64::max);
+    println!("gate: worst telemetry overhead {worst:+.2}% (bound < 2%)");
+}

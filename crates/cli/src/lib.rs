@@ -33,6 +33,10 @@ pub struct Cli {
     pub resume: bool,
     /// Relaunches allowed after a failed attempt.
     pub max_restarts: usize,
+    /// Write a Chrome `trace_event` timeline here (enables recording).
+    pub trace_out: Option<String>,
+    /// Write the end-of-run metrics JSON here (enables recording).
+    pub metrics_out: Option<String>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +70,8 @@ impl Default for Cli {
             checkpoint_dir: None,
             resume: false,
             max_restarts: 0,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -87,6 +93,11 @@ impl Cli {
     pub fn wants_recovery(&self) -> bool {
         self.checkpoint_dir.is_some() || self.resume || self.max_restarts > 0
     }
+
+    /// True when phase recording should be on (any exporter requested).
+    pub fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
 }
 
 /// Usage text.
@@ -95,6 +106,7 @@ distgnn — DistGNN (SC'21) reproduction trainer
 
 USAGE:
     distgnn <COMMAND> [OPTIONS]
+    distgnn [OPTIONS]              (no command = dist-train)
 
 COMMANDS:
     train         single-socket full-batch training
@@ -108,6 +120,7 @@ OPTIONS:
     --epochs <usize>     training epochs              (default 50)
     --sockets <usize>    simulated sockets            (default 4)
     --mode <0c|cd-0|cd-R>  distributed algorithm      (default cd-5)
+    --algo <...>         alias for --mode; `cd-r` = cd-5
     --lr <f32>           learning rate                (default 0.01)
     --wire <fp32|bf16|fp16>  aggregate wire format    (default fp32)
     --blocks <usize>     kernel cache blocks n_B      (default auto)
@@ -123,6 +136,12 @@ RECOVERY OPTIONS (dist-train):
     --max-restarts <n>       relaunch from the last checkpoint up to n
                              times after a failed attempt (default 0)
 
+OBSERVABILITY OPTIONS (dist-train):
+    --trace-out <path>       write a Chrome trace_event timeline (open in
+                             Perfetto / chrome://tracing); enables recording
+    --metrics-out <path>     write end-of-run metrics JSON (per-epoch phase
+                             totals, comm volume, retries, staleness)
+
 FAULT SPECS (comma-separated; deterministic per seed):
     seed=<u64>                  decision seed
     drop=<p>[:src->dst]         drop messages with probability p
@@ -137,13 +156,18 @@ FAULT SPECS (comma-separated; deterministic per seed):
 /// Parses an argument vector (excluding argv[0]).
 pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli::default();
-    let mut it = args.iter();
-    cli.command = match it.next().map(String::as_str) {
-        Some("train") => Command::Train,
-        Some("dist-train") => Command::DistTrain,
-        Some("inspect") => Command::Inspect,
-        Some("help") | None => Command::Help,
-        Some(other) => return Err(format!("unknown command `{other}`")),
+    let mut it = args.iter().peekable();
+    // A leading flag means "no subcommand": default to dist-train, the
+    // command every exporter flag targets.
+    cli.command = match it.peek().map(|s| s.as_str()) {
+        Some(s) if s.starts_with("--") => Command::DistTrain,
+        _ => match it.next().map(String::as_str) {
+            Some("train") => Command::Train,
+            Some("dist-train") => Command::DistTrain,
+            Some("inspect") => Command::Inspect,
+            Some("help") | None => Command::Help,
+            Some(other) => return Err(format!("unknown command `{other}`")),
+        },
     };
     while let Some(flag) = it.next() {
         let mut value = || -> Result<&String, String> {
@@ -157,7 +181,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--lr" => cli.lr = parse_num(flag, value()?)?,
             "--seed" => cli.seed = parse_num(flag, value()?)?,
             "--blocks" => cli.blocks = Some(parse_num(flag, value()?)?),
-            "--mode" => cli.mode = parse_mode(value()?)?,
+            "--mode" | "--algo" => cli.mode = parse_mode(value()?)?,
+            "--trace-out" => cli.trace_out = Some(value()?.clone()),
+            "--metrics-out" => cli.metrics_out = Some(value()?.clone()),
             "--faults" => cli.faults = FaultPlan::parse(value()?)?,
             "--retries" => cli.retries = Some(parse_num(flag, value()?)?),
             "--checkpoint-every" => cli.checkpoint_every = parse_num(flag, value()?)?,
@@ -182,16 +208,18 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("invalid value `{v}` for `{flag}`"))
 }
 
-/// Parses `0c`, `cd-0`, `cd-5`, `cd-<r>`.
+/// Parses `0c`, `cd-0`, `cd-5`, `cd-<r>`; the literal `cd-r` selects
+/// the paper's default delay of 5.
 pub fn parse_mode(s: &str) -> Result<DistMode, String> {
     match s {
         "0c" => Ok(DistMode::Oc),
         "cd-0" => Ok(DistMode::Cd0),
+        "cd-r" => Ok(DistMode::CdR { delay: 5 }),
         other => other
             .strip_prefix("cd-")
             .and_then(|r| r.parse::<usize>().ok())
             .map(|delay| DistMode::CdR { delay })
-            .ok_or_else(|| format!("unknown mode `{other}` (want 0c, cd-0 or cd-<r>)")),
+            .ok_or_else(|| format!("unknown mode `{other}` (want 0c, cd-0, cd-r or cd-<r>)")),
     }
 }
 
@@ -301,6 +329,20 @@ mod tests {
         let r = parse(&argv("dist-train --resume --epochs 7")).unwrap();
         assert!(r.resume);
         assert_eq!(r.epochs, 7);
+    }
+
+    #[test]
+    fn leading_flag_defaults_to_dist_train_with_exporters() {
+        let cli = parse(&argv(
+            "--algo cd-r --trace-out trace.json --metrics-out metrics.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::DistTrain);
+        assert_eq!(cli.mode, DistMode::CdR { delay: 5 });
+        assert_eq!(cli.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(cli.metrics_out.as_deref(), Some("metrics.json"));
+        assert!(cli.wants_telemetry());
+        assert!(!parse(&argv("dist-train")).unwrap().wants_telemetry());
     }
 
     #[test]

@@ -2,11 +2,12 @@
 
 use distgnn_cli::{dataset_config, parse, Cli, Command, USAGE};
 use distgnn_core::single::{Trainer, TrainerConfig};
-use distgnn_core::{DistConfig, DistTrainer};
+use distgnn_core::{build_metrics, DistConfig, DistTrainer};
 use distgnn_graph::{stats, Dataset};
 use distgnn_kernels::AggregationConfig;
 use distgnn_partition::metrics::{edge_balance, replication_factor};
 use distgnn_partition::libra_partition;
+use distgnn_telemetry::{chrome_trace, metrics_json, phase_table, TelemetryHub};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,8 +84,23 @@ fn dist_train(cli: &Cli) {
         cli.wire.name(),
         if cli.faults.is_none() { "" } else { ", fault injection ON" }
     );
+    let hub = if cli.wants_telemetry() {
+        TelemetryHub::new(cli.sockets, Default::default())
+    } else {
+        TelemetryHub::disabled(cli.sockets)
+    };
     let report = if cli.wants_recovery() {
-        match DistTrainer::try_run_recovering(&ds, &cfg, cli.max_restarts, cli.resume) {
+        let edges = ds.graph.to_edge_list();
+        let partitioning = libra_partition(&edges, cfg.num_parts);
+        let pg = distgnn_partition::PartitionedGraph::build(&edges, &partitioning, cfg.seed);
+        match DistTrainer::try_run_recovering_on_with_telemetry(
+            &ds,
+            &pg,
+            &cfg,
+            cli.max_restarts,
+            cli.resume,
+            &hub,
+        ) {
             Ok(rec) => {
                 for f in &rec.failures {
                     eprintln!("attempt failed: {f}");
@@ -102,7 +118,7 @@ fn dist_train(cli: &Cli) {
             }
         }
     } else {
-        match DistTrainer::try_run(&ds, &cfg) {
+        match DistTrainer::try_run_with_telemetry(&ds, &cfg, &hub) {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -128,6 +144,28 @@ fn dist_train(cli: &Cli) {
         sent as f64 / (1 << 20) as f64
     );
     print_fault_summary(&report.per_rank_comm);
+    if cli.wants_telemetry() {
+        let reg = build_metrics(&cfg, &report, &hub);
+        println!("\n{}", phase_table(&reg));
+        if let Some(path) = &cli.trace_out {
+            export(path, &chrome_trace(&hub), "trace");
+        }
+        if let Some(path) = &cli.metrics_out {
+            export(path, &metrics_json(&reg), "metrics");
+        }
+    }
+}
+
+/// Atomically writes an exporter document (tmp + rename, like
+/// checkpoints: a crashed run never leaves a torn JSON behind).
+fn export(path: &str, doc: &str, what: &str) {
+    match distgnn_io::atomic::atomic_write(std::path::Path::new(path), doc.as_bytes()) {
+        Ok(()) => println!("{what} written to {path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Summarizes fault and staleness accounting over all ranks: dropped /

@@ -12,11 +12,12 @@
 use crate::faults::FaultPlan;
 use crate::retry::RetryPolicy;
 use crate::stats::{CommSnapshot, CommStats};
+use distgnn_telemetry::{Phase, Recorder, TraceCounter};
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 /// Typed communication failure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,10 +112,21 @@ struct Shared {
     stats: Vec<CommStats>,
     /// `None` unless the run injects faults (zero-overhead fast path).
     faults: Option<FaultRuntime>,
+    /// One phase recorder per rank. Disabled recorders (the default)
+    /// reduce every instrumentation call to a branch, mirroring the
+    /// fault fast path.
+    telemetry: Vec<Arc<Recorder>>,
 }
 
 impl Shared {
-    fn new(size: usize, plan: &FaultPlan) -> Self {
+    fn new(size: usize, plan: &FaultPlan, telemetry: Option<&[Arc<Recorder>]>) -> Self {
+        let telemetry = match telemetry {
+            Some(recs) => {
+                assert_eq!(recs.len(), size, "need one recorder per rank");
+                recs.to_vec()
+            }
+            None => (0..size).map(|_| Arc::new(Recorder::disabled())).collect(),
+        };
         Shared {
             size,
             barrier: Barrier::new(size),
@@ -131,6 +143,7 @@ impl Shared {
             } else {
                 Some(FaultRuntime::new(plan.clone(), size))
             },
+            telemetry,
         }
     }
 }
@@ -146,7 +159,7 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        Self::run_inner(num_ranks, &FaultPlan::none(), f).0
+        Self::run_inner(num_ranks, &FaultPlan::none(), None, f).0
     }
 
     /// Like [`Cluster::run`] but also returns the per-rank
@@ -156,7 +169,7 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        Self::run_inner(num_ranks, &FaultPlan::none(), f)
+        Self::run_inner(num_ranks, &FaultPlan::none(), None, f)
     }
 
     /// Runs under a fault-injection plan. With the same `plan` (same
@@ -171,16 +184,39 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        Self::run_inner(num_ranks, plan, f)
+        Self::run_inner(num_ranks, plan, None, f)
     }
 
-    fn run_inner<F, R>(num_ranks: usize, plan: &FaultPlan, f: F) -> (Vec<R>, Vec<CommSnapshot>)
+    /// Like [`Cluster::run_with_faults`] but with one phase
+    /// [`Recorder`] per rank: the collectives attribute their time to
+    /// `CommSend`/`CommWait`/`Barrier` spans and tick retry counters.
+    /// Recording is pure observation — payloads, barrier sequences and
+    /// [`CommSnapshot`]s are bit-identical to an uninstrumented run.
+    pub fn run_with_telemetry<F, R>(
+        num_ranks: usize,
+        plan: &FaultPlan,
+        recorders: &[Arc<Recorder>],
+        f: F,
+    ) -> (Vec<R>, Vec<CommSnapshot>)
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        Self::run_inner(num_ranks, plan, Some(recorders), f)
+    }
+
+    fn run_inner<F, R>(
+        num_ranks: usize,
+        plan: &FaultPlan,
+        recorders: Option<&[Arc<Recorder>]>,
+        f: F,
+    ) -> (Vec<R>, Vec<CommSnapshot>)
     where
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
         assert!(num_ranks >= 1, "need at least one rank");
-        let shared = Shared::new(num_ranks, plan);
+        let shared = Shared::new(num_ranks, plan, recorders);
         let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(num_ranks);
@@ -254,8 +290,18 @@ impl RankCtx<'_> {
             .is_some_and(|f| f.plan.stalled(self.rank, self.epoch.get()))
     }
 
-    /// Blocks until every rank reaches the barrier.
+    /// This rank's phase recorder (disabled unless the run was started
+    /// via [`Cluster::run_with_telemetry`]). The training layers use
+    /// this to scope their own compute phases onto the same timeline.
+    pub fn telemetry(&self) -> &Recorder {
+        &self.shared.telemetry[self.rank]
+    }
+
+    /// Blocks until every rank reaches the barrier. Rendezvous time is
+    /// recorded as [`Phase::Barrier`] (the "idle" bucket of the paper's
+    /// compute/comm/idle breakdown).
     pub fn barrier(&self) {
+        let _s = self.telemetry().scope(Phase::Barrier);
         self.shared.barrier.wait();
         self.barriers.set(self.barriers.get() + 1);
     }
@@ -277,10 +323,14 @@ impl RankCtx<'_> {
         if k == 1 {
             return;
         }
-        *self.shared.reduce[self.rank].lock() = buf.to_vec();
         let wire = (buf.len() * 4) as u64;
-        // Ring-equivalent volume: each rank ships its buffer once.
-        self.shared.stats[self.rank].record_send(wire);
+        {
+            let _s = self.telemetry().scope(Phase::CommSend);
+            *self.shared.reduce[self.rank].lock() = buf.to_vec();
+            // Ring-equivalent volume: each rank ships its buffer once.
+            self.shared.stats[self.rank].record_send(wire);
+        }
+        let _w = self.telemetry().scope(Phase::CommWait);
         self.barrier();
         // Accumulate in ascending rank order on every rank, so all
         // replicas see bit-identical sums (fp addition is order
@@ -337,6 +387,7 @@ impl RankCtx<'_> {
         let stalled = self.is_stalled();
         let stats = &self.shared.stats[self.rank];
         let now = self.barriers.get();
+        let send_span = self.telemetry().scope(Phase::CommSend);
         let mut own = None;
         for (dst, payload) in outgoing.into_iter().enumerate() {
             if dst == self.rank {
@@ -367,6 +418,8 @@ impl RankCtx<'_> {
             stats.record_send(wire);
             *self.shared.xchg[self.rank][dst].lock() = Some(Msg { payload, available_at });
         }
+        drop(send_span);
+        let _wait_span = self.telemetry().scope(Phase::CommWait);
         self.barrier();
 
         let mut incoming: Vec<Option<Vec<f32>>> = (0..k).map(|_| None).collect();
@@ -444,6 +497,8 @@ impl RankCtx<'_> {
             }
             let backoff = policy.backoff(round);
             stats.record_retry(backoff);
+            self.telemetry().counter(TraceCounter::Retry, 1);
+            self.telemetry().counter(TraceCounter::Backoff, backoff);
             for _ in 0..backoff {
                 self.barrier();
             }
@@ -457,6 +512,7 @@ impl RankCtx<'_> {
     /// reorder) apply here.
     pub fn send_tagged(&self, dst: usize, tag: u64, payload: Vec<f32>) {
         assert!(dst < self.size(), "destination out of range");
+        let _s = self.telemetry().scope(Phase::CommSend);
         let stats = &self.shared.stats[self.rank];
         let wire = (payload.len() * 4) as u64;
         let Some(f) = self.shared.faults.as_ref() else {
@@ -502,6 +558,7 @@ impl RankCtx<'_> {
     /// picks nothing up.
     pub fn try_recv_tagged(&self, src: usize, tag: u64) -> Option<Vec<f32>> {
         assert!(src < self.size(), "source out of range");
+        let _s = self.telemetry().scope(Phase::CommWait);
         if self.is_stalled() {
             return None;
         }
@@ -551,6 +608,8 @@ impl RankCtx<'_> {
             }
             let backoff = policy.backoff(round);
             self.shared.stats[self.rank].record_retry(backoff);
+            self.telemetry().counter(TraceCounter::Retry, 1);
+            self.telemetry().counter(TraceCounter::Backoff, backoff);
             self.barriers.set(self.barriers.get() + backoff);
             round += 1;
         }
@@ -1069,6 +1128,7 @@ impl RankCtx<'_> {
         if self.size() == 1 {
             return;
         }
+        let _s = self.telemetry().scope(Phase::CommWait);
         if self.rank == root {
             *self.shared.reduce[root].lock() = buf.to_vec();
             self.shared.stats[self.rank].record_send((buf.len() * 4) as u64);
@@ -1088,6 +1148,7 @@ impl RankCtx<'_> {
     /// (see `faults.rs`).
     pub fn gather(&self, buf: &[f32], root: usize) -> Vec<Vec<f32>> {
         assert!(root < self.size(), "root out of range");
+        let _s = self.telemetry().scope(Phase::CommWait);
         *self.shared.reduce[self.rank].lock() = buf.to_vec();
         if self.rank != root {
             self.shared.stats[self.rank].record_send((buf.len() * 4) as u64);
@@ -1146,6 +1207,66 @@ mod collective_tests {
         assert!(out[0].is_empty());
         assert_eq!(out[1], vec![vec![0.0], vec![10.0], vec![20.0]]);
         assert!(out[2].is_empty());
+    }
+
+    #[test]
+    fn telemetry_records_comm_phases_without_perturbing_payloads() {
+        use distgnn_telemetry::TelemetryHub;
+        let hub = TelemetryHub::new(2, Default::default());
+        let (out, snaps) = Cluster::run_with_telemetry(
+            2,
+            &FaultPlan::none(),
+            hub.recorders(),
+            |ctx| {
+                let mut buf = vec![ctx.rank() as f32 + 1.0; 4];
+                ctx.all_reduce_sum(&mut buf);
+                let outgoing = (0..2).map(|d| vec![d as f32; 2]).collect();
+                ctx.all_to_all_v(outgoing).expect("no faults");
+                ctx.barrier();
+                buf
+            },
+        );
+        assert!(out.iter().all(|b| b == &vec![3.0; 4]));
+        for r in 0..2 {
+            let ns = hub.rank(r).phase_ns();
+            assert!(ns[Phase::CommSend as usize] > 0, "rank {r}: no send time");
+            assert!(ns[Phase::CommWait as usize] > 0, "rank {r}: no wait time");
+            assert!(ns[Phase::Barrier as usize] > 0, "rank {r}: no barrier time");
+            assert_eq!(hub.rank(r).events_dropped(), 0);
+        }
+        // Recording is pure observation: stats match an uninstrumented run.
+        let (_, plain) = Cluster::run_with_stats(2, |ctx| {
+            let mut buf = vec![ctx.rank() as f32 + 1.0; 4];
+            ctx.all_reduce_sum(&mut buf);
+            let outgoing = (0..2).map(|d| vec![d as f32; 2]).collect();
+            ctx.all_to_all_v(outgoing).expect("no faults");
+            ctx.barrier();
+        });
+        assert_eq!(snaps, plain);
+    }
+
+    #[test]
+    fn telemetry_ticks_retry_counters_under_delay_faults() {
+        use distgnn_telemetry::TelemetryHub;
+        let plan = FaultPlan::none().with_seed(13).with_delay(1.0, 3);
+        let hub = TelemetryHub::new(2, Default::default());
+        let (out, snaps) =
+            Cluster::run_with_telemetry(2, &plan, hub.recorders(), |ctx| {
+                let outgoing = (0..2).map(|d| vec![d as f32]).collect();
+                ctx.all_to_all_v_retry(outgoing, &RetryPolicy::standard()).is_ok()
+            });
+        assert!(out.iter().all(|ok| *ok));
+        for r in 0..2 {
+            assert_eq!(
+                hub.rank(r).counter_total(TraceCounter::Retry),
+                snaps[r].retries_attempted,
+                "trace counter must mirror CommStats"
+            );
+            assert_eq!(
+                hub.rank(r).counter_total(TraceCounter::Backoff),
+                snaps[r].backoff_barriers
+            );
+        }
     }
 
     #[test]

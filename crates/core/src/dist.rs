@@ -22,8 +22,10 @@ use distgnn_io::{
 use distgnn_kernels::AggregationConfig;
 use distgnn_nn::{Adam, AdamConfig};
 use distgnn_partition::{libra_partition, PartitionedGraph};
+use distgnn_telemetry::{Metric, MetricsRegistry, Phase, Recorder, TelemetryHub, TraceCounter};
 use distgnn_tensor::{reduce, Matrix};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The three distributed algorithms of §5.3.
@@ -273,7 +275,32 @@ impl DistTrainer {
         pg: &PartitionedGraph,
         config: &DistConfig,
     ) -> Result<DistRunReport, DistError> {
-        Self::try_run_resumed(dataset, pg, config, None)
+        Self::try_run_resumed(dataset, pg, config, None, None)
+    }
+
+    /// Like [`DistTrainer::try_run_on`], but recording phase timelines
+    /// and counters into `hub` (one [`Recorder`] per rank). Recording
+    /// only reads the clock and writes preallocated atomics, so the
+    /// trained parameters are bit-identical to an unrecorded run.
+    pub fn try_run_on_with_telemetry(
+        dataset: &Dataset,
+        pg: &PartitionedGraph,
+        config: &DistConfig,
+        hub: &TelemetryHub,
+    ) -> Result<DistRunReport, DistError> {
+        Self::try_run_resumed(dataset, pg, config, None, Some(hub))
+    }
+
+    /// [`DistTrainer::try_run_on_with_telemetry`] that also partitions.
+    pub fn try_run_with_telemetry(
+        dataset: &Dataset,
+        config: &DistConfig,
+        hub: &TelemetryHub,
+    ) -> Result<DistRunReport, DistError> {
+        let edges = dataset.graph.to_edge_list();
+        let partitioning = libra_partition(&edges, config.num_parts);
+        let pg = PartitionedGraph::build(&edges, &partitioning, config.seed);
+        Self::try_run_resumed(dataset, &pg, config, None, Some(hub))
     }
 
     /// Like [`DistTrainer::try_run_on`], but optionally starting from a
@@ -286,6 +313,7 @@ impl DistTrainer {
         pg: &PartitionedGraph,
         config: &DistConfig,
         resume: Option<&[TrainState]>,
+        hub: Option<&TelemetryHub>,
     ) -> Result<DistRunReport, DistError> {
         let k = pg.num_parts();
         assert_eq!(k, config.num_parts, "partition count mismatch");
@@ -307,7 +335,21 @@ impl DistTrainer {
         let rank_data = prepare_rank_data(dataset, pg);
         let global_train = dataset.train_mask.len().max(1) as f32;
 
-        let (results, comm) = Cluster::run_with_faults(k, &config.faults, |ctx| {
+        // Without a hub every rank gets a disabled recorder: the span
+        // calls below compile down to a load-and-branch.
+        let disabled_hub;
+        let recorders: &[Arc<Recorder>] = match hub {
+            Some(h) => {
+                assert_eq!(h.num_ranks(), k, "telemetry hub rank-count mismatch");
+                h.recorders()
+            }
+            None => {
+                disabled_hub = TelemetryHub::disabled(k);
+                disabled_hub.recorders()
+            }
+        };
+
+        let (results, comm) = Cluster::run_with_telemetry(k, &config.faults, recorders, |ctx| {
             let me = ctx.rank();
             let data = &rank_data[me];
             let mut model = GraphSage::new(&config.model);
@@ -340,6 +382,7 @@ impl DistTrainer {
             let mut flat = Vec::new();
 
             let mut failure = None;
+            let rec = ctx.telemetry();
             for e in start_epoch..config.epochs {
                 let t0 = Instant::now();
                 agg.set_epoch(e as u64);
@@ -351,10 +394,13 @@ impl DistTrainer {
                     break;
                 }
                 agg.take_times();
+                let fwd = rec.scope(Phase::Forward);
                 model.forward_into(&mut agg, &data.features, &mut ws);
+                drop(fwd);
 
                 // Clone-weighted loss over local train vertices; the
                 // logits gradient lands in the final layer's `grad_z`.
+                let bwd = rec.scope(Phase::Backward);
                 let last = ws.layers.last_mut().expect("model has at least one layer");
                 let loss_contrib = weighted_cross_entropy_into(
                     &last.z,
@@ -367,11 +413,16 @@ impl DistTrainer {
                 );
 
                 model.backward_into(&mut agg, &mut ws);
+                drop(bwd);
+                // The gradient AllReduce's comm spans nest inside
+                // Optimizer and split out via leaf attribution.
+                let opt = rec.scope(Phase::Optimizer);
                 ws.flatten_grads_into(&mut flat);
                 let mut loss_buf = [loss_contrib];
                 ctx.all_reduce_sum(&mut flat);
                 ctx.all_reduce_sum(&mut loss_buf);
                 apply_flat_grads(&mut model, &mut adam, &flat);
+                drop(opt);
 
                 let (lat, rat, backward_agg) = agg.take_times();
                 epochs.push(RankEpoch {
@@ -396,6 +447,7 @@ impl DistTrainer {
                 // checkpoint protocol together or not at all.
                 if config.checkpoint_every > 0 && (e + 1) % config.checkpoint_every == 0 {
                     if let Some(dir) = &config.checkpoint_dir {
+                        let ck = rec.scope(Phase::Checkpoint);
                         write_cluster_checkpoint(
                             ctx,
                             dir,
@@ -404,8 +456,10 @@ impl DistTrainer {
                             &adam,
                             &agg,
                         );
+                        drop(ck);
                     }
                 }
+                rec.end_epoch(e as u64);
             }
 
             if failure.is_none() {
@@ -532,6 +586,32 @@ impl DistTrainer {
         max_restarts: usize,
         resume: bool,
     ) -> Result<RecoveryReport, DistError> {
+        Self::recovering_inner(dataset, pg, config, max_restarts, resume, None)
+    }
+
+    /// [`DistTrainer::try_run_recovering_on`] with phase recording: every
+    /// attempt (failed ones included) records into the same `hub`, and
+    /// each restart ticks the per-rank `epochs_replayed` trace counter
+    /// with the epochs lost since the last checkpoint.
+    pub fn try_run_recovering_on_with_telemetry(
+        dataset: &Dataset,
+        pg: &PartitionedGraph,
+        config: &DistConfig,
+        max_restarts: usize,
+        resume: bool,
+        hub: &TelemetryHub,
+    ) -> Result<RecoveryReport, DistError> {
+        Self::recovering_inner(dataset, pg, config, max_restarts, resume, Some(hub))
+    }
+
+    fn recovering_inner(
+        dataset: &Dataset,
+        pg: &PartitionedGraph,
+        config: &DistConfig,
+        max_restarts: usize,
+        resume: bool,
+        hub: Option<&TelemetryHub>,
+    ) -> Result<RecoveryReport, DistError> {
         let mut cfg = config.clone();
         let mut restarts = 0usize;
         let mut epochs_replayed = 0usize;
@@ -542,7 +622,7 @@ impl DistTrainer {
             None
         };
         loop {
-            match Self::try_run_resumed(dataset, pg, &cfg, states.as_deref()) {
+            match Self::try_run_resumed(dataset, pg, &cfg, states.as_deref(), hub) {
                 Ok(run) => {
                     let retries_absorbed =
                         run.per_rank_comm.iter().map(|s| s.retries_attempted).sum();
@@ -569,12 +649,66 @@ impl DistTrainer {
                     cfg.faults = FaultPlan::none();
                     states = load_newest_valid_checkpoint(cfg.checkpoint_dir.as_deref());
                     let resume_epoch = states.as_ref().map_or(0, |s| s[0].epoch as usize);
-                    epochs_replayed += err.epoch.saturating_sub(resume_epoch);
+                    let replayed = err.epoch.saturating_sub(resume_epoch);
+                    epochs_replayed += replayed;
+                    if let Some(h) = hub {
+                        for r in h.recorders() {
+                            r.counter(TraceCounter::Replay, replayed as u64);
+                        }
+                    }
                     failures.push(err);
                 }
             }
         }
     }
+}
+
+/// Assembles the end-of-run [`MetricsRegistry`] for a distributed run:
+/// comm volumes / fault / retry / staleness counters from the per-rank
+/// [`CommSnapshot`]s, phase timelines and drop counters from the hub's
+/// recorders, analytic kernel flop/byte totals from the partition shape
+/// (see `distgnn_kernels::cost`), and replay accounting from the
+/// recovery trace counter.
+pub fn build_metrics(
+    config: &DistConfig,
+    report: &DistRunReport,
+    hub: &TelemetryHub,
+) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new(report.per_rank_comm.len());
+    let dims = config.model.layer_dims();
+    let epochs_run = report.epochs.len() as u64;
+    for (r, snap) in report.per_rank_comm.iter().enumerate() {
+        let rank = reg.rank_mut(r);
+        rank.set(Metric::BytesSent, snap.bytes_sent);
+        rank.set(Metric::BytesReceived, snap.bytes_received);
+        rank.set(Metric::MessagesSent, snap.messages_sent);
+        rank.set(Metric::MessagesDropped, snap.messages_dropped);
+        rank.set(Metric::MessagesDelayed, snap.messages_delayed);
+        rank.set(Metric::MessagesReordered, snap.messages_reordered);
+        rank.set(Metric::SendsStalled, snap.sends_stalled);
+        rank.set(Metric::RetriesAttempted, snap.retries_attempted);
+        rank.set(Metric::BackoffBarriers, snap.backoff_barriers);
+        rank.set(Metric::MaxStaleness, snap.max_staleness);
+        rank.set(Metric::StalenessViolations, snap.staleness_violations);
+        rank.stale_hist = snap.stale_hist.to_vec();
+        if r < report.partition_vertices.len() {
+            let (n, m) = (report.partition_vertices[r], report.partition_edges[r]);
+            rank.set(
+                Metric::KernelFlops,
+                epochs_run * distgnn_kernels::cost::sage_epoch_flops(n, m, &dims),
+            );
+            rank.set(
+                Metric::KernelBytes,
+                epochs_run * distgnn_kernels::cost::sage_epoch_bytes(n, m, &dims),
+            );
+        }
+        if r < hub.num_ranks() {
+            reg.absorb_recorder(r, hub.rank(r));
+            reg.rank_mut(r)
+                .set(Metric::EpochsReplayed, hub.rank(r).counter_total(TraceCounter::Replay));
+        }
+    }
+    reg
 }
 
 /// Newest checkpoint under `dir` that loads and validates completely; a
@@ -898,6 +1032,37 @@ mod tests {
         assert_eq!(WirePrecision::Bf16.name(), "bf16");
         assert_eq!(WirePrecision::Fp16.name(), "fp16");
         assert_eq!(WirePrecision::default(), WirePrecision::Fp32);
+    }
+
+    #[test]
+    fn telemetry_records_phases_without_perturbing_training() {
+        let ds = tiny();
+        let c = cfg(&ds, DistMode::CdR { delay: 1 }, 3, 4);
+        let plain = DistTrainer::try_run(&ds, &c).unwrap();
+        let hub = distgnn_telemetry::TelemetryHub::new(3, Default::default());
+        let recorded = DistTrainer::try_run_with_telemetry(&ds, &c, &hub).unwrap();
+        // Bit-identical parameters: recording only reads the clock.
+        assert_eq!(plain.final_params, recorded.final_params);
+        let reg = build_metrics(&c, &recorded, &hub);
+        for r in 0..3 {
+            let rank = reg.rank(r);
+            assert_eq!(rank.epochs.len(), 4, "one snapshot per epoch");
+            assert!(rank.phase_ns[Phase::Forward as usize] > 0);
+            assert!(rank.phase_ns[Phase::Backward as usize] > 0);
+            assert!(rank.phase_ns[Phase::Aggregate as usize] > 0);
+            assert!(rank.phase_ns[Phase::Optimizer as usize] > 0);
+            assert!(rank.get(Metric::KernelFlops) > 0);
+            assert_eq!(rank.get(Metric::BytesSent), recorded.per_rank_comm[r].bytes_sent);
+            assert_eq!(rank.get(Metric::EventsDropped), 0);
+        }
+        // cd-1 syncs clones: comm phases must show up somewhere.
+        let comm_ns: u64 = (0..3)
+            .map(|r| {
+                reg.rank(r).phase_ns[Phase::CommSend as usize]
+                    + reg.rank(r).phase_ns[Phase::CommWait as usize]
+            })
+            .sum();
+        assert!(comm_ns > 0, "clone sync must record comm time");
     }
 
     #[test]

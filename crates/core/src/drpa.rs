@@ -35,6 +35,7 @@ use distgnn_kernels::gcn::gcn_normalize;
 use distgnn_kernels::{AggregationConfig, BinaryOp, PreparedAggregation, ReduceOp};
 use distgnn_partition::setup::Route;
 use distgnn_partition::PartitionedGraph;
+use distgnn_telemetry::Phase;
 use distgnn_tensor::Matrix;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -378,6 +379,10 @@ impl Aggregator for RankAggregator<'_, '_> {
     }
 
     fn forward(&mut self, layer: usize, h: &Matrix) -> Matrix {
+        // Nested comm spans (CommSend/CommWait/Barrier) opened inside
+        // `sync` split out of this scope automatically, leaving the
+        // exclusive Aggregate time = LAT + RAT pre/post-processing.
+        let _agg_span = self.ctx.telemetry().scope(Phase::Aggregate);
         // Local aggregation (LAT).
         let t0 = Instant::now();
         let mut agg = self.prep.aggregate(h, None, BinaryOp::CopyLhs, ReduceOp::Sum);
@@ -396,6 +401,7 @@ impl Aggregator for RankAggregator<'_, '_> {
     }
 
     fn backward(&mut self, layer: usize, grad_out: &Matrix) -> Matrix {
+        let _agg_span = self.ctx.telemetry().scope(Phase::Aggregate);
         let t0 = Instant::now();
         // out = (a_sync + h) / (D + 1): scale incoming gradient once.
         let mut scaled = grad_out.clone();

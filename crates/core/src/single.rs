@@ -8,7 +8,9 @@ use distgnn_kernels::gcn::{
 };
 use distgnn_kernels::{AggregationConfig, PreparedAggregation};
 use distgnn_nn::{masked_cross_entropy_into, Adam, AdamConfig};
+use distgnn_telemetry::{Phase, Recorder};
 use distgnn_tensor::{reduce, Matrix};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Shared-memory GCN aggregator over one graph; the forward and
@@ -23,6 +25,7 @@ pub struct SingleSocketAggregator {
     /// Per-layer scaled-gradient scratch for the backward `_into` path,
     /// sized lazily on first use and reused afterwards.
     bwd_scratch: Vec<Matrix>,
+    recorder: Arc<Recorder>,
 }
 
 impl SingleSocketAggregator {
@@ -33,12 +36,18 @@ impl SingleSocketAggregator {
             degrees: graph.degrees_f32(),
             agg_time: Duration::ZERO,
             bwd_scratch: Vec::new(),
+            recorder: Arc::new(Recorder::disabled()),
         }
     }
 
     /// Time spent in aggregation since the last [`Self::take_agg_time`].
     pub fn take_agg_time(&mut self) -> Duration {
         std::mem::take(&mut self.agg_time)
+    }
+
+    /// Routes phase spans to `rec` (disabled by default).
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        self.recorder = rec;
     }
 }
 
@@ -48,6 +57,7 @@ impl Aggregator for SingleSocketAggregator {
     }
 
     fn forward(&mut self, _layer: usize, h: &Matrix) -> Matrix {
+        let _span = self.recorder.scope(Phase::Aggregate);
         let t0 = Instant::now();
         let agg = gcn_aggregate_prepared(&self.prep, h, &self.degrees);
         self.agg_time += t0.elapsed();
@@ -55,6 +65,7 @@ impl Aggregator for SingleSocketAggregator {
     }
 
     fn backward(&mut self, _layer: usize, grad_out: &Matrix) -> Matrix {
+        let _span = self.recorder.scope(Phase::Aggregate);
         let t0 = Instant::now();
         let g = gcn_aggregate_backward_prepared(&self.prep_t, grad_out, &self.degrees);
         self.agg_time += t0.elapsed();
@@ -62,12 +73,14 @@ impl Aggregator for SingleSocketAggregator {
     }
 
     fn forward_into(&mut self, _layer: usize, h: &Matrix, out: &mut Matrix) {
+        let _span = self.recorder.scope(Phase::Aggregate);
         let t0 = Instant::now();
         gcn_aggregate_prepared_into(&self.prep, h, &self.degrees, out);
         self.agg_time += t0.elapsed();
     }
 
     fn backward_into(&mut self, layer: usize, grad_out: &Matrix, out: &mut Matrix) {
+        let _span = self.recorder.scope(Phase::Aggregate);
         let t0 = Instant::now();
         if self.bwd_scratch.len() <= layer {
             self.bwd_scratch.resize_with(layer + 1, || Matrix::zeros(0, 0));
@@ -156,6 +169,8 @@ pub struct Trainer {
     ws: SageWorkspace,
     probs: Matrix,
     flat: Vec<f32>,
+    recorder: Arc<Recorder>,
+    epoch: u64,
 }
 
 impl Trainer {
@@ -178,14 +193,28 @@ impl Trainer {
             ws,
             probs,
             flat: Vec::new(),
+            recorder: Arc::new(Recorder::disabled()),
+            epoch: 0,
         }
+    }
+
+    /// Routes phase spans (Forward/Backward/Aggregate/Optimizer, plus a
+    /// per-epoch breakdown) to `rec`. Disabled by default; recording
+    /// uses the recorder's preallocated ring buffer, so the steady-state
+    /// epoch stays allocation-free either way.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        self.agg.set_recorder(rec.clone());
+        self.recorder = rec;
     }
 
     /// One full-batch epoch: forward, loss, backward, Adam step.
     pub fn train_epoch(&mut self) -> EpochStats {
         let t0 = Instant::now();
         self.agg.take_agg_time();
+        let fwd = self.recorder.scope(Phase::Forward);
         self.model.forward_into(&mut self.agg, &self.features, &mut self.ws);
+        drop(fwd);
+        let bwd = self.recorder.scope(Phase::Backward);
         let last = self.ws.layers.last_mut().expect("model has at least one layer");
         let loss = masked_cross_entropy_into(
             &last.z,
@@ -195,8 +224,13 @@ impl Trainer {
             &mut last.grad_z,
         );
         self.model.backward_into(&mut self.agg, &mut self.ws);
+        drop(bwd);
+        let opt = self.recorder.scope(Phase::Optimizer);
         self.ws.flatten_grads_into(&mut self.flat);
         apply_flat_grads(&mut self.model, &mut self.adam, &self.flat);
+        drop(opt);
+        self.recorder.end_epoch(self.epoch);
+        self.epoch += 1;
         EpochStats {
             loss,
             train_accuracy: reduce::masked_accuracy(self.ws.logits(), &self.labels, &self.train_mask),

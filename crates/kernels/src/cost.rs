@@ -1,0 +1,95 @@
+//! Static work estimates for the kernels, used by the telemetry
+//! metrics registry to report flop/byte totals alongside measured
+//! phase times.
+//!
+//! These are analytic counts of the arithmetic each kernel *must*
+//! perform, not measurements: the AP touches every edge once per
+//! feature element, and a dense layer is one GEMM plus a bias add.
+//! Cache effects and SIMD width do not change the counts, so the
+//! estimates are exact for flops and a lower bound for bytes (they
+//! assume each operand is moved once).
+
+/// Flops for one aggregation pass over `num_edges` edges with
+/// `feat_dim`-wide features: one combine (`⊗`) and one reduce (`⊕`)
+/// per edge per feature element.
+pub fn aggregate_flops(num_edges: usize, feat_dim: usize) -> u64 {
+    2 * num_edges as u64 * feat_dim as u64
+}
+
+/// Minimum bytes moved by one aggregation pass: read one source row
+/// and read-modify-write one destination row per edge, f32 elements.
+pub fn aggregate_bytes(num_edges: usize, feat_dim: usize) -> u64 {
+    3 * num_edges as u64 * feat_dim as u64 * 4
+}
+
+/// Flops for one dense layer forward: `rows x in_dim` by
+/// `in_dim x out_dim` GEMM (2 flops per MAC) plus the bias add.
+pub fn dense_flops(rows: usize, in_dim: usize, out_dim: usize) -> u64 {
+    let r = rows as u64;
+    let o = out_dim as u64;
+    2 * r * in_dim as u64 * o + r * o
+}
+
+/// Minimum bytes moved by one dense layer forward: inputs, weights,
+/// bias and outputs each touched once, f32 elements.
+pub fn dense_bytes(rows: usize, in_dim: usize, out_dim: usize) -> u64 {
+    let r = rows as u64;
+    let i = in_dim as u64;
+    let o = out_dim as u64;
+    (r * i + i * o + o + r * o) * 4
+}
+
+/// Flops for one full GraphSAGE epoch on one rank: per layer, one
+/// aggregation plus one dense transform, forward and backward.
+/// Backward replays the same GEMM shapes twice (grad-input and
+/// grad-weight) and the aggregation once on the transpose, so the
+/// total is 3x the dense forward and 2x the aggregate forward.
+pub fn sage_epoch_flops(num_vertices: usize, num_edges: usize, layer_dims: &[(usize, usize)]) -> u64 {
+    let mut total = 0u64;
+    for &(ind, outd) in layer_dims {
+        total += 2 * aggregate_flops(num_edges, ind);
+        total += 3 * dense_flops(num_vertices, ind, outd);
+    }
+    total
+}
+
+/// Byte-movement lower bound for one full GraphSAGE epoch on one rank,
+/// mirroring [`sage_epoch_flops`].
+pub fn sage_epoch_bytes(num_vertices: usize, num_edges: usize, layer_dims: &[(usize, usize)]) -> u64 {
+    let mut total = 0u64;
+    for &(ind, outd) in layer_dims {
+        total += 2 * aggregate_bytes(num_edges, ind);
+        total += 3 * dense_bytes(num_vertices, ind, outd);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_counts_scale_linearly() {
+        assert_eq!(aggregate_flops(10, 4), 80);
+        assert_eq!(aggregate_flops(20, 4), 2 * aggregate_flops(10, 4));
+        assert_eq!(aggregate_bytes(10, 4), 480);
+    }
+
+    #[test]
+    fn dense_counts_match_gemm_shape() {
+        // 8x3 @ 3x5: 2*8*3*5 MAC flops + 8*5 bias adds.
+        assert_eq!(dense_flops(8, 3, 5), 240 + 40);
+        assert_eq!(dense_bytes(8, 3, 5), (24 + 15 + 5 + 40) * 4);
+    }
+
+    #[test]
+    fn epoch_totals_sum_layers() {
+        let dims = [(4, 2), (2, 3)];
+        let per_layer: u64 = dims
+            .iter()
+            .map(|&(i, o)| 2 * aggregate_flops(6, i) + 3 * dense_flops(5, i, o))
+            .sum();
+        assert_eq!(sage_epoch_flops(5, 6, &dims), per_layer);
+        assert!(sage_epoch_bytes(5, 6, &dims) > 0);
+    }
+}

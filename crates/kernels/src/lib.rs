@@ -25,6 +25,7 @@
 pub mod baseline;
 pub mod blocked;
 pub mod config;
+pub mod cost;
 pub mod edge_softmax;
 pub mod gcn;
 pub mod instrumented;

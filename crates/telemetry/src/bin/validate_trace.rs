@@ -1,0 +1,68 @@
+//! CI gate: `validate-trace <trace.json> [metrics.json]`.
+//!
+//! Exits non-zero unless the trace is a structurally valid Chrome
+//! `trace_event` document with monotone, non-overlapping spans per rank
+//! track (and, if given, the metrics file parses and carries the v1
+//! schema tag).
+
+use distgnn_telemetry::json;
+use distgnn_telemetry::validate_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(trace_path) = args.next() else {
+        eprintln!("usage: validate-trace <trace.json> [metrics.json]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate-trace: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_trace(&text) {
+        Ok(s) => {
+            println!(
+                "{trace_path}: OK — {} spans, {} counters, {} rank tracks",
+                s.spans, s.counters, s.ranks
+            );
+            if s.spans == 0 {
+                eprintln!("{trace_path}: trace contains no spans");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("{trace_path}: INVALID — {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(metrics_path) = args.next() {
+        let text = match std::fs::read_to_string(&metrics_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("validate-trace: cannot read {metrics_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{metrics_path}: INVALID JSON — {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match doc.get("schema").and_then(json::Value::as_str) {
+            Some("distgnn-metrics-v1") => {
+                let ranks = doc.get("ranks").and_then(json::Value::as_arr).map_or(0, <[_]>::len);
+                println!("{metrics_path}: OK — schema distgnn-metrics-v1, {ranks} ranks");
+            }
+            other => {
+                eprintln!("{metrics_path}: unexpected schema {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,429 @@
+//! Exporters: Chrome `trace_event` JSON, per-epoch metrics JSON, and the
+//! human phase-breakdown table.
+//!
+//! JSON is emitted by hand (the workspace has no serde); every key and
+//! every name the exporters write is a static snake_case identifier, so
+//! no string escaping is required. [`validate_trace`] re-parses a trace
+//! with the in-crate [`json`](crate::json) parser and checks the
+//! structural invariants CI relies on.
+
+use crate::json::{self, Value};
+use crate::recorder::RecordedEvent;
+use crate::registry::{MetricsRegistry, METRICS};
+use crate::{Phase, PhaseKind, TelemetryHub, PHASES, PHASE_COUNT};
+use std::fmt::Write as _;
+
+/// Render the hub's recorders as Chrome `trace_event` JSON
+/// (`{"traceEvents": [...]}`), loadable in Perfetto / `chrome://tracing`.
+///
+/// Spans are the recorder's exclusive **leaf segments**: a nested phase
+/// splits its parent, so each rank's track is a flat, non-overlapping
+/// sequence (`pid` 0, `tid` = rank). Counter ticks become `"C"` events.
+/// Timestamps are microseconds from the hub's shared monotonic origin.
+pub fn chrome_trace(hub: &TelemetryHub) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let emit = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    for rank in 0..hub.num_ranks() {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{rank},\
+                 \"args\":{{\"name\":\"rank {rank}\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+        // Reconstruct leaf segments from the enter/exit log: each event
+        // boundary closes the segment owned by the innermost open phase.
+        let mut stack: Vec<Phase> = Vec::new();
+        let mut seg_start = 0u64;
+        let close = |phase: Phase, start: u64, end: u64, out: &mut String, first: &mut bool| {
+            if end > start {
+                emit(
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\
+                         \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{rank}}}",
+                        phase.name(),
+                        us(start),
+                        us(end - start)
+                    ),
+                    out,
+                    first,
+                );
+            }
+        };
+        for ev in hub.rank(rank).events() {
+            match ev {
+                RecordedEvent::Enter { phase, ts_ns } => {
+                    if let Some(&top) = stack.last() {
+                        close(top, seg_start, ts_ns, &mut out, &mut first);
+                    }
+                    stack.push(phase);
+                    seg_start = ts_ns;
+                }
+                RecordedEvent::Exit { phase, ts_ns } => {
+                    close(phase, seg_start, ts_ns, &mut out, &mut first);
+                    stack.pop();
+                    seg_start = ts_ns;
+                }
+                RecordedEvent::Counter { counter, ts_ns, value } => {
+                    emit(
+                        format!(
+                            "{{\"name\":\"rank{rank}/{}\",\"ph\":\"C\",\"ts\":{},\
+                             \"pid\":0,\"args\":{{\"value\":{value}}}}}",
+                            counter.name(),
+                            us(ts_ns)
+                        ),
+                        &mut out,
+                        &mut first,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// ns → µs with sub-µs precision, trailing zeros trimmed so boundary
+/// timestamps compare exactly equal after a JSON round-trip.
+fn us(ns: u64) -> String {
+    let s = format!("{}.{:03}", ns / 1000, ns % 1000);
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+/// Machine-readable run report: per-rank scalar metrics, staleness
+/// histogram, phase totals/counts, and per-epoch phase breakdowns, plus
+/// cross-rank totals.
+pub fn metrics_json(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"schema\":\"distgnn-metrics-v1\",");
+    let _ = write!(out, "\"num_ranks\":{},\"ranks\":[", reg.num_ranks());
+    for r in 0..reg.num_ranks() {
+        if r > 0 {
+            out.push(',');
+        }
+        let rank = reg.rank(r);
+        let _ = write!(out, "{{\"rank\":{r},\"metrics\":{{");
+        for (i, m) in METRICS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", m.name(), rank.get(*m));
+        }
+        out.push_str("},\"staleness_hist\":[");
+        for (i, v) in rank.stale_hist.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("],\"phase_totals_ns\":");
+        push_phase_obj(&mut out, &rank.phase_ns);
+        out.push_str(",\"phase_counts\":");
+        push_phase_obj(&mut out, &rank.phase_counts);
+        out.push_str(",\"epochs\":[");
+        for (i, e) in rank.epochs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"epoch\":{},\"wall_ns\":{},\"phases_ns\":", e.epoch, e.wall_ns);
+            push_phase_obj(&mut out, &e.phase_ns);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"totals\":{");
+    for (i, m) in METRICS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", m.name(), reg.total(*m));
+    }
+    out.push_str(",\"staleness_hist\":[");
+    for (i, v) in reg.total_stale_hist().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push_str("]}}");
+    out
+}
+
+fn push_phase_obj(out: &mut String, vals: &[u64; PHASE_COUNT]) {
+    out.push('{');
+    for (i, p) in PHASES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", p.name(), vals[i]);
+    }
+    out.push('}');
+}
+
+/// The end-of-run table: per-rank phase milliseconds plus the paper's
+/// compute / comm / idle split (Figs. 10–11 shape). `Checkpoint` time is
+/// reported as `io%`, untracked epoch time as `other%`.
+pub fn phase_table(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("rank ");
+    for p in PHASES {
+        let _ = write!(out, "{:>11}", p.name());
+    }
+    out.push_str("   compute%   comm%   idle%    io%  other%\n");
+    for r in 0..reg.num_ranks() {
+        let rank = reg.rank(r);
+        let _ = write!(out, "{r:>4} ");
+        for p in 0..PHASE_COUNT {
+            let _ = write!(out, "{:>9.1}ms", rank.phase_ns[p] as f64 / 1e6);
+        }
+        let tracked: u64 = rank.phase_ns.iter().sum();
+        // Prefer epoch wall time (includes untracked gaps); a run with no
+        // end_epoch calls falls back to the tracked total.
+        let wall = rank.wall_ns().max(tracked);
+        let mut by_kind = [0u64; 4]; // compute, comm, idle, io
+        for (i, p) in PHASES.iter().enumerate() {
+            let k = match p.kind() {
+                PhaseKind::Compute => 0,
+                PhaseKind::Comm => 1,
+                PhaseKind::Idle => 2,
+                PhaseKind::Io => 3,
+            };
+            by_kind[k] += rank.phase_ns[i];
+        }
+        let pct = |v: u64| if wall == 0 { 0.0 } else { 100.0 * v as f64 / wall as f64 };
+        let _ = writeln!(
+            out,
+            "   {:>7.1}% {:>6.1}% {:>6.1}% {:>5.1}% {:>6.1}%",
+            pct(by_kind[0]),
+            pct(by_kind[1]),
+            pct(by_kind[2]),
+            pct(by_kind[3]),
+            pct(wall - tracked.min(wall)),
+        );
+    }
+    out
+}
+
+/// Why a trace failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// Not parseable as JSON at all.
+    Parse(String),
+    /// Parseable, but not the shape we emit (missing/typed-wrong fields).
+    Structure(String),
+    /// Two `"X"` spans on one rank track overlap in time.
+    Overlap { tid: u64, at_us: f64 },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Parse(e) => write!(f, "trace is not valid JSON: {e}"),
+            TraceError::Structure(e) => write!(f, "trace is malformed: {e}"),
+            TraceError::Overlap { tid, at_us } => {
+                write!(f, "overlapping spans on tid {tid} at {at_us}us")
+            }
+        }
+    }
+}
+
+/// Summary returned by a successful [`validate_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// `"X"` span events.
+    pub spans: usize,
+    /// Counter events.
+    pub counters: usize,
+    /// Distinct rank tracks (tids) carrying spans.
+    pub ranks: usize,
+}
+
+/// Validate an exported Chrome trace: a `traceEvents` array whose `"X"`
+/// events carry numeric `ts`/`dur`/`pid`/`tid` and a known phase name,
+/// and whose spans are monotone non-overlapping per rank track.
+pub fn validate_trace(input: &str) -> Result<TraceSummary, TraceError> {
+    let doc = json::parse(input).map_err(TraceError::Parse)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| TraceError::Structure("missing traceEvents array".into()))?;
+    let known: Vec<&str> = PHASES.iter().map(|p| p.name()).collect();
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    // (tid, end-of-last-span) — tids are small integers (ranks).
+    let mut track_end: Vec<(u64, f64)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| TraceError::Structure(format!("event {i}: missing ph")))?;
+        match ph {
+            "X" => {
+                let name = ev
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| TraceError::Structure(format!("event {i}: missing name")))?;
+                if !known.contains(&name) {
+                    return Err(TraceError::Structure(format!(
+                        "event {i}: unknown phase '{name}'"
+                    )));
+                }
+                let num = |key: &str| {
+                    ev.get(key).and_then(Value::as_f64).ok_or_else(|| {
+                        TraceError::Structure(format!("event {i}: missing numeric {key}"))
+                    })
+                };
+                let ts = num("ts")?;
+                let dur = num("dur")?;
+                num("pid")?;
+                let tid = num("tid")? as u64;
+                if dur < 0.0 || ts < 0.0 {
+                    return Err(TraceError::Structure(format!("event {i}: negative time")));
+                }
+                match track_end.iter_mut().find(|(t, _)| *t == tid) {
+                    Some((_, end)) => {
+                        // Sub-nanosecond slack: `ts + dur` accumulates f64
+                        // rounding error at exactly-touching boundaries.
+                        if ts < *end - 1e-6 {
+                            return Err(TraceError::Overlap { tid, at_us: ts });
+                        }
+                        *end = ts + dur;
+                    }
+                    None => track_end.push((tid, ts + dur)),
+                }
+                spans += 1;
+            }
+            "C" => {
+                ev.get("ts").and_then(Value::as_f64).ok_or_else(|| {
+                    TraceError::Structure(format!("counter event {i}: missing ts"))
+                })?;
+                counters += 1;
+            }
+            "M" => {}
+            other => {
+                return Err(TraceError::Structure(format!("event {i}: unknown ph '{other}'")))
+            }
+        }
+    }
+    Ok(TraceSummary { spans, counters, ranks: track_end.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{RecorderConfig, TraceCounter};
+    use crate::{Metric, Phase};
+    use std::time::{Duration, Instant};
+
+    fn spin(d: Duration) {
+        let t0 = Instant::now();
+        while t0.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn busy_hub() -> TelemetryHub {
+        let hub = TelemetryHub::new(2, RecorderConfig::default());
+        for r in 0..2 {
+            let rec = hub.rank(r);
+            for e in 0..2u64 {
+                {
+                    let _f = rec.scope(Phase::Forward);
+                    spin(Duration::from_micros(200));
+                    let _a = rec.scope(Phase::Aggregate);
+                    spin(Duration::from_micros(200));
+                }
+                {
+                    let _w = rec.scope(Phase::CommWait);
+                    rec.counter(TraceCounter::Retry, 1);
+                    spin(Duration::from_micros(100));
+                }
+                rec.end_epoch(e);
+            }
+        }
+        hub
+    }
+
+    #[test]
+    fn trace_round_trips_and_validates() {
+        let hub = busy_hub();
+        let trace = chrome_trace(&hub);
+        let summary = validate_trace(&trace).unwrap();
+        assert_eq!(summary.ranks, 2);
+        assert_eq!(summary.counters, 2 * 2);
+        // Per rank per epoch: forward split around aggregate (2 segments)
+        // + aggregate + comm_wait = 4 leaf spans.
+        assert_eq!(summary.spans, 2 * 2 * 4);
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        let bad = r#"{"traceEvents":[
+            {"name":"forward","cat":"phase","ph":"X","ts":0,"dur":10,"pid":0,"tid":0},
+            {"name":"backward","cat":"phase","ph":"X","ts":5,"dur":10,"pid":0,"tid":0}
+        ]}"#;
+        assert!(matches!(validate_trace(bad), Err(TraceError::Overlap { tid: 0, .. })));
+        // Same times on different tids is fine.
+        let ok = bad.replacen("\"tid\":0}", "\"tid\":1}", 1);
+        assert!(validate_trace(&ok).is_ok());
+    }
+
+    #[test]
+    fn structure_errors_are_caught() {
+        assert!(matches!(validate_trace("not json"), Err(TraceError::Parse(_))));
+        assert!(matches!(validate_trace("{}"), Err(TraceError::Structure(_))));
+        let unknown = r#"{"traceEvents":[{"name":"mystery","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}"#;
+        assert!(matches!(validate_trace(unknown), Err(TraceError::Structure(_))));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_complete() {
+        let hub = busy_hub();
+        let mut reg = MetricsRegistry::new(2);
+        for r in 0..2 {
+            reg.absorb_recorder(r, hub.rank(r));
+            reg.rank_mut(r).set(Metric::BytesSent, 1000 + r as u64);
+            reg.rank_mut(r).stale_hist = vec![1, 0, 2];
+        }
+        let text = metrics_json(&reg);
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(doc.get("num_ranks").unwrap().as_f64(), Some(2.0));
+        let ranks = doc.get("ranks").unwrap().as_arr().unwrap();
+        assert_eq!(ranks.len(), 2);
+        let r0 = &ranks[0];
+        assert_eq!(
+            r0.get("metrics").unwrap().get("bytes_sent").unwrap().as_f64(),
+            Some(1000.0)
+        );
+        assert_eq!(r0.get("epochs").unwrap().as_arr().unwrap().len(), 2);
+        let e0 = &r0.get("epochs").unwrap().as_arr().unwrap()[0];
+        assert!(e0.get("phases_ns").unwrap().get("forward").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            doc.get("totals").unwrap().get("bytes_sent").unwrap().as_f64(),
+            Some(2001.0)
+        );
+        let hist = doc.get("totals").unwrap().get("staleness_hist").unwrap().as_arr().unwrap();
+        assert_eq!(hist.len(), 3);
+    }
+
+    #[test]
+    fn phase_table_shows_breakdown() {
+        let hub = busy_hub();
+        let mut reg = MetricsRegistry::new(2);
+        for r in 0..2 {
+            reg.absorb_recorder(r, hub.rank(r));
+        }
+        let table = phase_table(&reg);
+        assert!(table.contains("compute%"));
+        assert!(table.contains("forward"));
+        // One header + one row per rank.
+        assert_eq!(table.lines().count(), 3);
+    }
+}

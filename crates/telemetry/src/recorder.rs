@@ -1,0 +1,526 @@
+//! Per-rank event recorder.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero heap allocation in steady state.** Everything is preallocated
+//!    at construction: the event buffer, the per-phase totals, the
+//!    per-epoch snapshot slots. When a buffer fills up, new entries are
+//!    dropped and a counter is bumped — nothing ever grows.
+//! 2. **`&self` everywhere.** Like `CommStats`, the recorder is all
+//!    atomics so it can be shared behind an `Arc` with the rank closure
+//!    (`Fn + Sync`). Each recorder is written by exactly one rank thread;
+//!    `Relaxed` ordering suffices because readers only look after the
+//!    cluster threads are joined.
+//! 3. **Disabled is a branch.** [`Recorder::disabled()`] sets a flag that
+//!    every method checks first; the buffers are empty, so a disabled
+//!    recorder costs one predictable branch per call, mirroring
+//!    `FaultPlan::none()`.
+//!
+//! ## Event model
+//!
+//! Three event kinds share one fixed-size slot format (3 × `u64`):
+//! span **enter** and **exit** (payload = phase discriminant) and
+//! **counter** ticks (payload = counter id, value). Timestamps are
+//! nanoseconds from a per-recorder monotonic origin (`Instant`), so
+//! cross-rank alignment inside one process is exact: the hub hands every
+//! recorder the same origin.
+//!
+//! ## Exclusive leaf attribution
+//!
+//! Phases nest (e.g. `Aggregate` inside `Forward`, `Barrier` inside
+//! `CommWait`), but the per-phase totals and the exported trace attribute
+//! every nanosecond to exactly **one** phase: the innermost active one.
+//! `enter` closes the current leaf segment against the parent phase;
+//! `exit` closes it against the finished phase. Summing phase totals
+//! therefore never double-counts, and reconstructed spans per rank are
+//! non-overlapping by construction.
+
+use crate::{Phase, PHASE_COUNT};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Counters that appear on the timeline (Chrome `"C"` events), as opposed
+/// to end-of-run registry metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceCounter {
+    /// A comm retry round began (collective or tagged receive).
+    Retry = 0,
+    /// One backoff barrier was served while waiting to retry.
+    Backoff = 1,
+    /// An epoch was replayed after a restart.
+    Replay = 2,
+}
+
+/// Number of [`TraceCounter`] variants.
+pub const TRACE_COUNTER_COUNT: usize = 3;
+
+impl TraceCounter {
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceCounter::Retry => "retries",
+            TraceCounter::Backoff => "backoff_barriers",
+            TraceCounter::Replay => "epochs_replayed",
+        }
+    }
+
+    pub const fn from_index(i: u64) -> Option<TraceCounter> {
+        match i {
+            0 => Some(TraceCounter::Retry),
+            1 => Some(TraceCounter::Backoff),
+            2 => Some(TraceCounter::Replay),
+            _ => None,
+        }
+    }
+}
+
+const KIND_ENTER: u64 = 0;
+const KIND_EXIT: u64 = 1;
+const KIND_COUNTER: u64 = 2;
+
+/// Maximum phase-nesting depth. Deeper pushes are dropped (counted).
+const MAX_DEPTH: usize = 16;
+
+/// One recorded event, decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordedEvent {
+    Enter { phase: Phase, ts_ns: u64 },
+    Exit { phase: Phase, ts_ns: u64 },
+    Counter { counter: TraceCounter, ts_ns: u64, value: u64 },
+}
+
+impl RecordedEvent {
+    pub fn ts_ns(&self) -> u64 {
+        match *self {
+            RecordedEvent::Enter { ts_ns, .. }
+            | RecordedEvent::Exit { ts_ns, .. }
+            | RecordedEvent::Counter { ts_ns, .. } => ts_ns,
+        }
+    }
+}
+
+/// Phase totals for one finished epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochPhases {
+    pub epoch: u64,
+    pub wall_ns: u64,
+    pub phase_ns: [u64; PHASE_COUNT],
+}
+
+impl EpochPhases {
+    /// Nanoseconds not attributed to any phase (untracked epoch time).
+    pub fn other_ns(&self) -> u64 {
+        self.wall_ns.saturating_sub(self.phase_ns.iter().sum())
+    }
+}
+
+/// Sizing knobs for a [`Recorder`]. Both buffers are fully preallocated.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// Event slots (enter/exit/counter). 64 KiB slots ≈ 1.5 MiB per rank.
+    pub event_capacity: usize,
+    /// Per-epoch snapshot slots.
+    pub epoch_capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig { event_capacity: 1 << 16, epoch_capacity: 1 << 10 }
+    }
+}
+
+#[derive(Default)]
+struct EventSlot {
+    /// `kind << 32 | id` — id is the phase discriminant or counter id.
+    word: AtomicU64,
+    ts_ns: AtomicU64,
+    value: AtomicU64,
+}
+
+#[derive(Default)]
+struct EpochSlot {
+    epoch: AtomicU64,
+    wall_ns: AtomicU64,
+    phase_ns: [AtomicU64; PHASE_COUNT],
+}
+
+/// See the module docs. Constructed once per rank, before the training
+/// run; read after it.
+pub struct Recorder {
+    enabled: bool,
+    origin: Instant,
+
+    events: Vec<EventSlot>,
+    /// Next free event slot; monotone (never wraps — overflow drops).
+    cursor: AtomicUsize,
+    events_dropped: AtomicU64,
+
+    /// Innermost-active-phase stack (discriminants) + depth.
+    stack: [AtomicU64; MAX_DEPTH],
+    depth: AtomicUsize,
+    /// Timestamp where the current leaf segment began.
+    seg_start: AtomicU64,
+
+    /// Running exclusive totals since construction.
+    phase_ns: [AtomicU64; PHASE_COUNT],
+    /// Completed span count per phase.
+    phase_counts: [AtomicU64; PHASE_COUNT],
+    /// Trace-counter running totals.
+    counter_totals: [AtomicU64; TRACE_COUNTER_COUNT],
+
+    /// Totals at the end of the previous epoch (for per-epoch deltas).
+    epoch_mark: [AtomicU64; PHASE_COUNT],
+    epoch_start_ns: AtomicU64,
+    epochs: Vec<EpochSlot>,
+    epoch_cursor: AtomicUsize,
+    epochs_dropped: AtomicU64,
+}
+
+impl Recorder {
+    pub fn new(cfg: RecorderConfig) -> Self {
+        Self::build(true, Instant::now(), cfg)
+    }
+
+    /// Like [`Recorder::new`] but with a caller-supplied origin so all
+    /// ranks of a hub share one timebase.
+    pub fn with_origin(origin: Instant, cfg: RecorderConfig) -> Self {
+        Self::build(true, origin, cfg)
+    }
+
+    /// A recorder that records nothing. Every method returns after one
+    /// branch; no buffers are allocated.
+    pub fn disabled() -> Self {
+        Self::build(false, Instant::now(), RecorderConfig { event_capacity: 0, epoch_capacity: 0 })
+    }
+
+    fn build(enabled: bool, origin: Instant, cfg: RecorderConfig) -> Self {
+        let mut events = Vec::new();
+        let mut epochs = Vec::new();
+        if enabled {
+            events.resize_with(cfg.event_capacity, EventSlot::default);
+            epochs.resize_with(cfg.epoch_capacity, EpochSlot::default);
+        }
+        Recorder {
+            enabled,
+            origin,
+            events,
+            cursor: AtomicUsize::new(0),
+            events_dropped: AtomicU64::new(0),
+            stack: Default::default(),
+            depth: AtomicUsize::new(0),
+            seg_start: AtomicU64::new(0),
+            phase_ns: Default::default(),
+            phase_counts: Default::default(),
+            counter_totals: Default::default(),
+            epoch_mark: Default::default(),
+            epoch_start_ns: AtomicU64::new(0),
+            epochs,
+            epoch_cursor: AtomicUsize::new(0),
+            epochs_dropped: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn push_event(&self, kind: u64, id: u64, ts_ns: u64, value: u64) {
+        let i = self.cursor.load(Relaxed);
+        if i >= self.events.len() {
+            self.events_dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        let slot = &self.events[i];
+        slot.word.store(kind << 32 | id, Relaxed);
+        slot.ts_ns.store(ts_ns, Relaxed);
+        slot.value.store(value, Relaxed);
+        self.cursor.store(i + 1, Relaxed);
+    }
+
+    /// Close the current leaf segment at `now`, attributing it to the
+    /// innermost active phase (if any), and start a new one.
+    #[inline]
+    fn roll_segment(&self, now: u64) {
+        let d = self.depth.load(Relaxed);
+        if d > 0 {
+            let top = self.stack[d - 1].load(Relaxed) as usize;
+            let start = self.seg_start.load(Relaxed);
+            self.phase_ns[top].fetch_add(now.saturating_sub(start), Relaxed);
+        }
+        self.seg_start.store(now, Relaxed);
+    }
+
+    /// Begin a `phase` span. Prefer [`Recorder::scope`].
+    #[inline]
+    pub fn enter(&self, phase: Phase) {
+        if !self.enabled {
+            return;
+        }
+        let now = self.now_ns();
+        self.roll_segment(now);
+        let d = self.depth.load(Relaxed);
+        if d >= MAX_DEPTH {
+            self.events_dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        self.stack[d].store(phase as u64, Relaxed);
+        self.depth.store(d + 1, Relaxed);
+        self.push_event(KIND_ENTER, phase as u64, now, 0);
+    }
+
+    /// End the innermost `phase` span.
+    #[inline]
+    pub fn exit(&self, phase: Phase) {
+        if !self.enabled {
+            return;
+        }
+        let now = self.now_ns();
+        let d = self.depth.load(Relaxed);
+        if d == 0 {
+            // Unbalanced exit (possible only after a dropped enter).
+            self.events_dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        debug_assert_eq!(self.stack[d - 1].load(Relaxed), phase as u64, "unbalanced phase exit");
+        self.roll_segment(now);
+        self.depth.store(d - 1, Relaxed);
+        self.phase_counts[phase as usize].fetch_add(1, Relaxed);
+        self.push_event(KIND_EXIT, phase as u64, now, 0);
+    }
+
+    /// RAII span: enters `phase` now, exits when the guard drops.
+    #[inline]
+    pub fn scope(&self, phase: Phase) -> SpanGuard<'_> {
+        self.enter(phase);
+        SpanGuard { rec: self, phase }
+    }
+
+    /// Record a counter tick (timeline event + running total).
+    #[inline]
+    pub fn counter(&self, counter: TraceCounter, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counter_totals[counter as usize].fetch_add(value, Relaxed);
+        self.push_event(KIND_COUNTER, counter as u64, self.now_ns(), value);
+    }
+
+    /// Close out epoch `epoch`: snapshot the per-phase deltas since the
+    /// previous `end_epoch` into the next preallocated slot.
+    pub fn end_epoch(&self, epoch: u64) {
+        if !self.enabled {
+            return;
+        }
+        let now = self.now_ns();
+        // Fold the in-flight segment so the epoch sees up-to-date totals.
+        self.roll_segment(now);
+        let i = self.epoch_cursor.load(Relaxed);
+        if i >= self.epochs.len() {
+            self.epochs_dropped.fetch_add(1, Relaxed);
+        } else {
+            let slot = &self.epochs[i];
+            slot.epoch.store(epoch, Relaxed);
+            slot.wall_ns.store(now - self.epoch_start_ns.load(Relaxed), Relaxed);
+            for p in 0..PHASE_COUNT {
+                let total = self.phase_ns[p].load(Relaxed);
+                slot.phase_ns[p].store(total - self.epoch_mark[p].load(Relaxed), Relaxed);
+            }
+            self.epoch_cursor.store(i + 1, Relaxed);
+        }
+        for p in 0..PHASE_COUNT {
+            self.epoch_mark[p].store(self.phase_ns[p].load(Relaxed), Relaxed);
+        }
+        self.epoch_start_ns.store(now, Relaxed);
+    }
+
+    // ---- read-out (post-run) ----
+
+    pub fn phase_ns(&self) -> [u64; PHASE_COUNT] {
+        std::array::from_fn(|p| self.phase_ns[p].load(Relaxed))
+    }
+
+    pub fn phase_counts(&self) -> [u64; PHASE_COUNT] {
+        std::array::from_fn(|p| self.phase_counts[p].load(Relaxed))
+    }
+
+    pub fn counter_total(&self, c: TraceCounter) -> u64 {
+        self.counter_totals[c as usize].load(Relaxed)
+    }
+
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Relaxed)
+    }
+
+    pub fn epochs_dropped(&self) -> u64 {
+        self.epochs_dropped.load(Relaxed)
+    }
+
+    pub fn num_events(&self) -> usize {
+        self.cursor.load(Relaxed).min(self.events.len())
+    }
+
+    /// Decode recorded events in order. Allocates; post-run use only.
+    pub fn events(&self) -> Vec<RecordedEvent> {
+        (0..self.num_events())
+            .filter_map(|i| {
+                let slot = &self.events[i];
+                let word = slot.word.load(Relaxed);
+                let (kind, id) = (word >> 32, word & 0xffff_ffff);
+                let ts_ns = slot.ts_ns.load(Relaxed);
+                match kind {
+                    KIND_ENTER => {
+                        Phase::from_index(id as usize).map(|phase| RecordedEvent::Enter { phase, ts_ns })
+                    }
+                    KIND_EXIT => {
+                        Phase::from_index(id as usize).map(|phase| RecordedEvent::Exit { phase, ts_ns })
+                    }
+                    _ => TraceCounter::from_index(id).map(|counter| RecordedEvent::Counter {
+                        counter,
+                        ts_ns,
+                        value: slot.value.load(Relaxed),
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-epoch phase snapshots, in completion order. Allocates.
+    pub fn epochs(&self) -> Vec<EpochPhases> {
+        (0..self.epoch_cursor.load(Relaxed).min(self.epochs.len()))
+            .map(|i| {
+                let slot = &self.epochs[i];
+                EpochPhases {
+                    epoch: slot.epoch.load(Relaxed),
+                    wall_ns: slot.wall_ns.load(Relaxed),
+                    phase_ns: std::array::from_fn(|p| slot.phase_ns[p].load(Relaxed)),
+                }
+            })
+            .collect()
+    }
+}
+
+/// RAII guard from [`Recorder::scope`].
+pub struct SpanGuard<'a> {
+    rec: &'a Recorder,
+    phase: Phase,
+}
+
+impl Drop for SpanGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.rec.exit(self.phase);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spin(d: Duration) {
+        let t0 = Instant::now();
+        while t0.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let r = Recorder::disabled();
+        r.enter(Phase::Forward);
+        r.counter(TraceCounter::Retry, 3);
+        r.exit(Phase::Forward);
+        r.end_epoch(0);
+        assert_eq!(r.num_events(), 0);
+        assert_eq!(r.phase_ns(), [0; PHASE_COUNT]);
+        assert_eq!(r.epochs().len(), 0);
+        assert_eq!(r.events_dropped(), 0);
+    }
+
+    #[test]
+    fn nesting_attributes_exclusively() {
+        let r = Recorder::new(RecorderConfig::default());
+        {
+            let _f = r.scope(Phase::Forward);
+            spin(Duration::from_millis(2));
+            {
+                let _a = r.scope(Phase::Aggregate);
+                spin(Duration::from_millis(2));
+            }
+            spin(Duration::from_millis(1));
+        }
+        let ns = r.phase_ns();
+        let fwd = ns[Phase::Forward as usize];
+        let agg = ns[Phase::Aggregate as usize];
+        assert!(fwd >= 2_500_000, "forward got {fwd}ns");
+        assert!(agg >= 1_500_000, "aggregate got {agg}ns");
+        // Exclusive: total tracked time ≈ wall time of the outer span, not 2×.
+        let events = r.events();
+        let (t0, t1) = (events.first().unwrap().ts_ns(), events.last().unwrap().ts_ns());
+        let wall = t1 - t0;
+        let tracked: u64 = ns.iter().sum();
+        assert!(tracked <= wall + 100_000, "tracked {tracked} > wall {wall}");
+        let counts = r.phase_counts();
+        assert_eq!(counts[Phase::Forward as usize], 1);
+        assert_eq!(counts[Phase::Aggregate as usize], 1);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_without_growing() {
+        let r = Recorder::new(RecorderConfig { event_capacity: 4, epoch_capacity: 1 });
+        for _ in 0..8 {
+            r.enter(Phase::Forward);
+            r.exit(Phase::Forward);
+        }
+        assert_eq!(r.num_events(), 4);
+        assert_eq!(r.events_dropped(), 12);
+        // Totals keep accumulating even when the event log is full.
+        assert_eq!(r.phase_counts()[Phase::Forward as usize], 8);
+        r.end_epoch(0);
+        r.end_epoch(1);
+        assert_eq!(r.epochs().len(), 1);
+        assert_eq!(r.epochs_dropped(), 1);
+    }
+
+    #[test]
+    fn epoch_deltas_partition_totals() {
+        let r = Recorder::new(RecorderConfig::default());
+        for e in 0..3u64 {
+            let _s = r.scope(Phase::Backward);
+            spin(Duration::from_millis(1));
+            drop(_s);
+            r.end_epoch(e);
+        }
+        let epochs = r.epochs();
+        assert_eq!(epochs.len(), 3);
+        let per_epoch_sum: u64 = epochs.iter().map(|e| e.phase_ns[Phase::Backward as usize]).sum();
+        assert_eq!(per_epoch_sum, r.phase_ns()[Phase::Backward as usize]);
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i as u64);
+            assert!(e.wall_ns >= e.phase_ns.iter().sum());
+        }
+    }
+
+    #[test]
+    fn counters_total_and_log() {
+        let r = Recorder::new(RecorderConfig::default());
+        r.counter(TraceCounter::Retry, 1);
+        r.counter(TraceCounter::Retry, 2);
+        r.counter(TraceCounter::Backoff, 4);
+        assert_eq!(r.counter_total(TraceCounter::Retry), 3);
+        assert_eq!(r.counter_total(TraceCounter::Backoff), 4);
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[2],
+            RecordedEvent::Counter { counter: TraceCounter::Backoff, value: 4, .. }
+        ));
+    }
+}
