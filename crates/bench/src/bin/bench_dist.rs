@@ -1,33 +1,90 @@
 //! Distributed-path benchmark: emits `BENCH_dist.json`.
 //!
 //! For each algorithm of §5.3 (`0c`, `cd-0`, `cd-r`) on a synthetic
-//! graph, measures per-epoch time with telemetry recording OFF and ON,
-//! reports the median-epoch overhead of recording (acceptance bound:
-//! < 2%), checks the trained parameters are bit-identical either way,
-//! and records the per-rank phase breakdown (Fig. 10/11 shape) from the
-//! recording run.
+//! graph:
+//!
+//! - measures per-epoch time with telemetry recording OFF and ON and
+//!   reports the median-epoch recording overhead (acceptance bound:
+//!   < 2%). Warmup epochs are excluded from the medians and each
+//!   configuration runs `RUNS` times with the *minimum* median taken —
+//!   min-of-N is robust against one-sided scheduler noise, which used
+//!   to report nonsense negative overheads;
+//! - runs the same training with the overlap-first loop
+//!   (`--progress polled`) and reports the idle-time reduction: the
+//!   blocking loop's barrier/idle nanoseconds vs the overlapped loop's
+//!   (Fig. 10/11 shape, phase breakdown from the recording run);
+//! - checks the trained parameters are bit-identical across all four
+//!   variants (recording off/on × blocking/overlapped).
+//!
+//! `--smoke` shrinks the dataset and epoch count for CI: the JSON is
+//! still written (to a temp path unless `--out` is given), re-parsed,
+//! and schema-validated, but the full-size idle-reduction and tight
+//! overhead gates are relaxed (tiny epochs make percentages noise).
 
 use distgnn_bench::{header, millis, print_table};
+use distgnn_comm::ProgressMode;
 use distgnn_core::{build_metrics, DistConfig, DistMode, DistTrainer};
 use distgnn_graph::{Dataset, ScaledConfig};
 use distgnn_partition::{libra_partition, PartitionedGraph};
-use distgnn_telemetry::{Phase, PhaseKind, TelemetryHub, PHASES};
+use distgnn_telemetry::{json, Phase, PhaseKind, TelemetryHub, PHASES};
 use std::time::Duration;
+
+/// Timed rounds per configuration; the reported median is the minimum
+/// over these rounds, while the overhead gate compares the minimum
+/// single-epoch time across all rounds (see `run_algo`).
+const RUNS: usize = 5;
+/// Leading epochs excluded from every median (page-cache / allocator /
+/// rayon-pool warmup).
+const WARMUP_EPOCHS: usize = 2;
+
+struct BenchArgs {
+    smoke: bool,
+    scale: f64,
+    epochs: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> BenchArgs {
+    let mut args = BenchArgs { smoke: false, scale: 0.3, epochs: 12, out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.scale = 0.05;
+                args.epochs = 6;
+            }
+            "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale f64"),
+            "--epochs" => {
+                args.epochs = it.next().and_then(|v| v.parse().ok()).expect("--epochs usize")
+            }
+            "--out" => args.out = Some(it.next().expect("--out path")),
+            other => panic!("unknown flag `{other}` (want --smoke/--scale/--epochs/--out)"),
+        }
+    }
+    args
+}
 
 struct AlgoRow {
     name: String,
     median_off_ms: f64,
     median_on_ms: f64,
     overhead_pct: f64,
+    median_overlap_ms: f64,
     params_identical: bool,
-    /// Cluster-total exclusive phase time, ns, recording run.
+    /// Cluster-total exclusive phase time, ns, overlapped recording run.
     phase_ns: [u64; distgnn_telemetry::PHASE_COUNT],
+    /// Cluster-total idle (barrier) ns of the *blocking* recording run.
+    blocking_idle_ns: u64,
     comm_bytes: u64,
     retries: u64,
+    handle_ops: u64,
 }
 
+/// Median epoch time in ms, excluding the warmup prefix.
 fn median_ms(epochs: &[Duration]) -> f64 {
-    let mut ms: Vec<f64> = epochs.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    let keep = if epochs.len() > WARMUP_EPOCHS { &epochs[WARMUP_EPOCHS..] } else { epochs };
+    let mut ms: Vec<f64> = keep.iter().map(|d| d.as_secs_f64() * 1e3).collect();
     ms.sort_by(|a, b| a.total_cmp(b));
     if ms.is_empty() {
         return 0.0;
@@ -40,6 +97,42 @@ fn median_ms(epochs: &[Duration]) -> f64 {
     }
 }
 
+/// Post-warmup epoch times in ms (the samples pooled for the
+/// min-epoch overhead floor).
+fn kept_ms(epochs: &[Duration]) -> Vec<f64> {
+    let keep = if epochs.len() > WARMUP_EPOCHS { &epochs[WARMUP_EPOCHS..] } else { epochs };
+    keep.iter().map(|d| d.as_secs_f64() * 1e3).collect()
+}
+
+fn cluster_phase_ns(
+    cfg: &DistConfig,
+    run: &distgnn_core::DistRunReport,
+    hub: &TelemetryHub,
+) -> ([u64; distgnn_telemetry::PHASE_COUNT], u64, u64, u64) {
+    let reg = build_metrics(cfg, run, hub);
+    let k = hub.num_ranks();
+    let mut phase_ns = [0u64; distgnn_telemetry::PHASE_COUNT];
+    for r in 0..k {
+        for (dst, src) in phase_ns.iter_mut().zip(reg.rank(r).phase_ns) {
+            *dst += src;
+        }
+    }
+    (
+        phase_ns,
+        reg.total(distgnn_telemetry::Metric::BytesSent),
+        reg.total(distgnn_telemetry::Metric::RetriesAttempted),
+        reg.total(distgnn_telemetry::Metric::HandleOpsPosted),
+    )
+}
+
+fn idle_of(phase_ns: &[u64; distgnn_telemetry::PHASE_COUNT]) -> u64 {
+    PHASES
+        .iter()
+        .filter(|p| p.kind() == PhaseKind::Idle)
+        .map(|&p| phase_ns[p as usize])
+        .sum()
+}
+
 fn run_algo(ds: &Dataset, pg: &PartitionedGraph, mode: DistMode, epochs: usize) -> AlgoRow {
     let k = pg.num_parts();
     let cfg = {
@@ -47,71 +140,190 @@ fn run_algo(ds: &Dataset, pg: &PartitionedGraph, mode: DistMode, epochs: usize) 
         c.kernel = distgnn_kernels::AggregationConfig::optimized(1);
         c
     };
+    let overlap_cfg = {
+        let mut c = cfg.clone();
+        c.overlap = Some(ProgressMode::Polled);
+        c
+    };
 
-    let off = DistTrainer::try_run_on(ds, pg, &cfg).expect("recording-off run");
-    let hub = TelemetryHub::new(k, Default::default());
-    let on = DistTrainer::try_run_on_with_telemetry(ds, pg, &cfg, &hub).expect("recording-on run");
+    // Noise strategy, in two layers. (1) Reported medians are
+    // min-of-N: the smallest median per configuration over RUNS
+    // interleaved rounds, so one noisy round cannot inflate the
+    // headline numbers. (2) The overhead gate compares *minimum
+    // single-epoch times* pooled across all rounds. Scheduler noise
+    // (CPU steal, preemption, cache pollution from a neighbor) is
+    // strictly additive — it can only make an epoch slower, never
+    // faster — so with RUNS×(epochs−warmup) samples per configuration
+    // the pooled minimum converges on the noise-free floor of each
+    // loop, and the off/on floors isolate the true recording cost.
+    // Medians of ±5%-noisy samples cannot resolve a sub-1% effect;
+    // floors can.
+    let run_timed = |c: &DistConfig| -> (f64, Vec<f64>, Vec<Vec<f32>>) {
+        let run = DistTrainer::try_run_on(ds, pg, c).expect("recording-off run");
+        let times: Vec<Duration> = run.epochs.iter().map(|e| e.epoch_time).collect();
+        (median_ms(&times), kept_ms(&times), run.final_params)
+    };
+    let run_timed_recording = |c: &DistConfig| -> (f64, Vec<f64>, Vec<Vec<f32>>) {
+        let hub = TelemetryHub::new(k, Default::default());
+        let run =
+            DistTrainer::try_run_on_with_telemetry(ds, pg, c, &hub).expect("recording-on run");
+        let times: Vec<Duration> = run.epochs.iter().map(|e| e.epoch_time).collect();
+        (median_ms(&times), kept_ms(&times), run.final_params)
+    };
 
-    let reg = build_metrics(&cfg, &on, &hub);
-    let mut phase_ns = [0u64; distgnn_telemetry::PHASE_COUNT];
-    for r in 0..k {
-        for (dst, src) in phase_ns.iter_mut().zip(reg.rank(r).phase_ns) {
-            *dst += src;
-        }
+    let mut median_off_ms = f64::MAX;
+    let mut median_on_ms = f64::MAX;
+    let mut median_overlap_ms = f64::MAX;
+    let mut pool_off: Vec<f64> = Vec::new();
+    let mut pool_on: Vec<f64> = Vec::new();
+    let (mut params_off, mut params_on, mut params_overlap) =
+        (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..RUNS {
+        let (off, off_epochs, p_off) = run_timed(&cfg);
+        let (on, on_epochs, p_on) = run_timed_recording(&cfg);
+        let (ovl, _, p_ovl) = run_timed(&overlap_cfg);
+        median_off_ms = median_off_ms.min(off);
+        median_on_ms = median_on_ms.min(on);
+        median_overlap_ms = median_overlap_ms.min(ovl);
+        pool_off.extend(off_epochs);
+        pool_on.extend(on_epochs);
+        params_off = p_off;
+        params_on = p_on;
+        params_overlap = p_ovl;
     }
-    let off_times: Vec<Duration> = off.epochs.iter().map(|e| e.epoch_time).collect();
-    let on_times: Vec<Duration> = on.epochs.iter().map(|e| e.epoch_time).collect();
-    let median_off_ms = median_ms(&off_times);
-    let median_on_ms = median_ms(&on_times);
+    let floor = |pool: &[f64]| pool.iter().copied().fold(f64::MAX, f64::min);
+    let overhead_pct = (floor(&pool_on) / floor(&pool_off) - 1.0) * 100.0;
+
+    // One more recording run per loop for the phase breakdowns (the
+    // breakdown only needs one clean sample; timings above stay pure).
+    let hub_blocking = TelemetryHub::new(k, Default::default());
+    let run_blocking = DistTrainer::try_run_on_with_telemetry(ds, pg, &cfg, &hub_blocking)
+        .expect("blocking breakdown run");
+    let (blocking_phase_ns, _, _, _) = cluster_phase_ns(&cfg, &run_blocking, &hub_blocking);
+
+    let hub_overlap = TelemetryHub::new(k, Default::default());
+    let run_overlap =
+        DistTrainer::try_run_on_with_telemetry(ds, pg, &overlap_cfg, &hub_overlap)
+            .expect("overlapped breakdown run");
+    let (phase_ns, comm_bytes, retries, handle_ops) =
+        cluster_phase_ns(&overlap_cfg, &run_overlap, &hub_overlap);
+
+    let params_identical = params_off == params_on
+        && params_off == params_overlap
+        && params_off == run_overlap.final_params
+        && params_off == run_blocking.final_params;
+
     AlgoRow {
         name: mode.name(),
         median_off_ms,
         median_on_ms,
-        overhead_pct: (median_on_ms / median_off_ms.max(1e-9) - 1.0) * 100.0,
-        params_identical: off.final_params == on.final_params,
+        overhead_pct,
+        median_overlap_ms,
+        params_identical,
         phase_ns,
-        comm_bytes: reg.total(distgnn_telemetry::Metric::BytesSent),
-        retries: reg.total(distgnn_telemetry::Metric::RetriesAttempted),
+        blocking_idle_ns: idle_of(&blocking_phase_ns),
+        comm_bytes,
+        retries,
+        handle_ops,
     }
 }
 
+/// Re-parses the emitted JSON and checks every field the downstream
+/// tooling (EXPERIMENTS.md tables, CI gates) reads.
+fn validate_schema(raw: &str, expect_algos: usize) -> Result<(), String> {
+    let v = json::parse(raw)?;
+    for key in ["benchmark", "command"] {
+        v.get(key).and_then(|x| x.as_str()).ok_or(format!("missing string `{key}`"))?;
+    }
+    let ds = v.get("dataset").ok_or("missing `dataset`")?;
+    ds.get("name").and_then(|x| x.as_str()).ok_or("missing dataset.name")?;
+    for key in ["vertices", "edges"] {
+        ds.get(key).and_then(|x| x.as_f64()).ok_or(format!("missing dataset.{key}"))?;
+    }
+    for key in ["sockets", "epochs", "warmup_epochs", "runs_per_config"] {
+        v.get(key).and_then(|x| x.as_f64()).ok_or(format!("missing number `{key}`"))?;
+    }
+    let algos = v.get("algorithms").and_then(|a| a.as_arr()).ok_or("missing `algorithms`")?;
+    if algos.len() != expect_algos {
+        return Err(format!("expected {expect_algos} algorithms, got {}", algos.len()));
+    }
+    for a in algos {
+        a.get("algo").and_then(|x| x.as_str()).ok_or("missing algo name")?;
+        a.get("progress").and_then(|x| x.as_str()).ok_or("missing `progress`")?;
+        for key in [
+            "median_epoch_ms_recording_off",
+            "median_epoch_ms_recording_on",
+            "median_epoch_ms_overlapped",
+            "telemetry_overhead_pct",
+            "idle_reduction_pct",
+            "comm_bytes",
+            "retries",
+            "handle_ops_posted",
+            "blocking_idle_ns",
+        ] {
+            a.get(key).and_then(|x| x.as_f64()).ok_or(format!("missing number `{key}`"))?;
+        }
+        match a.get("params_bit_identical") {
+            Some(json::Value::Bool(_)) => {}
+            _ => return Err("missing bool `params_bit_identical`".into()),
+        }
+        let phases = a.get("phase_ns").ok_or("missing `phase_ns`")?;
+        for p in &PHASES {
+            phases.get(p.name()).and_then(|x| x.as_f64()).ok_or(format!(
+                "missing phase_ns.{}",
+                p.name()
+            ))?;
+        }
+        let bd = a.get("breakdown_ns").ok_or("missing `breakdown_ns`")?;
+        for key in ["compute", "comm", "idle", "io"] {
+            bd.get(key).and_then(|x| x.as_f64()).ok_or(format!("missing breakdown_ns.{key}"))?;
+        }
+    }
+    Ok(())
+}
+
 fn main() {
+    let args = parse_args();
     let sockets = 4usize;
-    let epochs = 12usize;
-    let ds = Dataset::generate(&ScaledConfig::products_s().scaled_by(0.3));
+    let epochs = args.epochs;
+    let ds = Dataset::generate(&ScaledConfig::products_s().scaled_by(args.scale));
     let edges = ds.graph.to_edge_list();
     let partitioning = libra_partition(&edges, sockets);
     let pg = PartitionedGraph::build(&edges, &partitioning, 0xD157);
 
     header(&format!(
-        "BENCH dist: {} ({} vertices, {} edges), {sockets} sockets, {epochs} epochs",
+        "BENCH dist: {} ({} vertices, {} edges), {sockets} sockets, {epochs} epochs, \
+         {RUNS} runs/config, {WARMUP_EPOCHS} warmup epochs{}",
         ds.name,
         ds.num_vertices(),
-        ds.graph.num_edges()
+        ds.graph.num_edges(),
+        if args.smoke { " [smoke]" } else { "" }
     ));
 
     let modes = [DistMode::Oc, DistMode::Cd0, DistMode::CdR { delay: 5 }];
     let rows: Vec<AlgoRow> = modes.iter().map(|&m| run_algo(&ds, &pg, m, epochs)).collect();
 
     print_table(
-        &["algo", "median off", "median on", "overhead", "params", "comm MiB", "retries"],
+        &["algo", "median off", "median on", "overhead", "overlapped", "idle -%", "params"],
         &rows
             .iter()
             .map(|r| {
+                let idle = idle_of(&r.phase_ns);
+                let reduction = 100.0 * (1.0 - idle as f64 / r.blocking_idle_ns.max(1) as f64);
                 vec![
                     r.name.clone(),
                     format!("{:.2} ms", r.median_off_ms),
                     format!("{:.2} ms", r.median_on_ms),
                     format!("{:+.2}%", r.overhead_pct),
+                    format!("{:.2} ms", r.median_overlap_ms),
+                    format!("{reduction:.1}%"),
                     if r.params_identical { "bit-identical" } else { "DIVERGED" }.into(),
-                    format!("{:.2}", r.comm_bytes as f64 / (1 << 20) as f64),
-                    r.retries.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
     );
 
-    println!("\nphase breakdown (cluster-total exclusive ms, recording run):");
+    println!("\nphase breakdown (cluster-total exclusive ms, overlapped recording run):");
     print_table(
         &["algo", "forward", "backward", "aggregate", "comm", "optimizer", "barrier"],
         &rows
@@ -150,14 +362,20 @@ fn main() {
                     PhaseKind::Io => io += r.phase_ns[p as usize],
                 }
             }
+            let reduction = 100.0 * (1.0 - idle as f64 / r.blocking_idle_ns.max(1) as f64);
             format!(
                 concat!(
                     "    {{\"algo\": \"{name}\", ",
+                    "\"progress\": \"polled\", ",
                     "\"median_epoch_ms_recording_off\": {off:.4}, ",
                     "\"median_epoch_ms_recording_on\": {on:.4}, ",
+                    "\"median_epoch_ms_overlapped\": {ovl:.4}, ",
                     "\"telemetry_overhead_pct\": {ovh:.3}, ",
                     "\"params_bit_identical\": {ident}, ",
                     "\"comm_bytes\": {bytes}, \"retries\": {retries}, ",
+                    "\"handle_ops_posted\": {handles}, ",
+                    "\"blocking_idle_ns\": {bidle}, ",
+                    "\"idle_reduction_pct\": {red:.3}, ",
                     "\"phase_ns\": {{{phases}}}, ",
                     "\"breakdown_ns\": {{\"compute\": {compute}, \"comm\": {comm}, ",
                     "\"idle\": {idle}, \"io\": {io}}}}}"
@@ -165,10 +383,14 @@ fn main() {
                 name = r.name,
                 off = r.median_off_ms,
                 on = r.median_on_ms,
+                ovl = r.median_overlap_ms,
                 ovh = r.overhead_pct,
                 ident = r.params_identical,
                 bytes = r.comm_bytes,
                 retries = r.retries,
+                handles = r.handle_ops,
+                bidle = r.blocking_idle_ns,
+                red = reduction,
                 phases = phases,
                 compute = compute,
                 comm = comm,
@@ -179,14 +401,16 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
 
-    let json = format!(
+    let json_text = format!(
         concat!(
             "{{\n",
-            "  \"benchmark\": \"distributed phase breakdown + telemetry overhead\",\n",
+            "  \"benchmark\": \"distributed phase breakdown + overlap + telemetry overhead\",\n",
             "  \"command\": \"cargo run --release -p distgnn-bench --bin bench_dist\",\n",
             "  \"dataset\": {{\"name\": \"{name}\", \"vertices\": {v}, \"edges\": {e}}},\n",
             "  \"sockets\": {sockets},\n",
             "  \"epochs\": {epochs},\n",
+            "  \"warmup_epochs\": {warmup},\n",
+            "  \"runs_per_config\": {runs},\n",
             "  \"algorithms\": [\n{algos}\n  ]\n",
             "}}\n"
         ),
@@ -195,16 +419,46 @@ fn main() {
         e = ds.graph.num_edges(),
         sockets = sockets,
         epochs = epochs,
+        warmup = WARMUP_EPOCHS,
+        runs = RUNS,
         algos = algo_json,
     );
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json");
-    std::fs::write(path, &json).expect("write BENCH_dist.json");
+    let default_path = if args.smoke {
+        std::env::temp_dir().join("BENCH_dist_smoke.json").to_string_lossy().into_owned()
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json").to_string()
+    };
+    let path = args.out.unwrap_or(default_path);
+    std::fs::write(&path, &json_text).expect("write BENCH_dist.json");
     println!("\nwrote {path}");
 
+    let reread = std::fs::read_to_string(&path).expect("re-read emitted JSON");
+    validate_schema(&reread, rows.len()).expect("BENCH_dist.json schema");
+    println!("schema: ok");
+
     for r in &rows {
-        assert!(r.params_identical, "{}: recording perturbed training", r.name);
+        assert!(r.params_identical, "{}: loop variant perturbed training", r.name);
     }
     let worst = rows.iter().map(|r| r.overhead_pct).fold(f64::MIN, f64::max);
-    println!("gate: worst telemetry overhead {worst:+.2}% (bound < 2%)");
+    // Tiny smoke epochs are ~ms, where a fixed per-epoch recording cost
+    // is a large percentage; the tight bound only means something at
+    // full size.
+    let bound = if args.smoke { 25.0 } else { 2.0 };
+    println!("gate: worst telemetry overhead {worst:+.2}% (bound < {bound}%)");
+    assert!(worst < bound, "telemetry overhead {worst:+.2}% breaches the {bound}% bound");
+
+    if !args.smoke {
+        let cd0 = rows.iter().find(|r| r.name == "cd-0").expect("cd-0 row");
+        let idle = idle_of(&cd0.phase_ns);
+        let reduction = 100.0 * (1.0 - idle as f64 / cd0.blocking_idle_ns.max(1) as f64);
+        println!(
+            "gate: cd-0 idle {} -> {} ns ({reduction:.1}% reduction, bound >= 40%)",
+            cd0.blocking_idle_ns, idle
+        );
+        assert!(
+            reduction >= 40.0,
+            "overlap reduced cd-0 idle by only {reduction:.1}% (< 40%)"
+        );
+    }
 }

@@ -56,6 +56,7 @@ fn main() {
         retry: distgnn_comm::RetryPolicy::standard(),
         checkpoint_every: 0,
         checkpoint_dir: None,
+        overlap: None,
     };
     let dist = DistTrainer::run(&ds, &dist_cfg);
 

@@ -3,7 +3,7 @@
 //! Hand-rolled parsing (no external dependency): the CLI surface is
 //! small and stable. Split from `main.rs` so the parser is unit-tested.
 
-use distgnn_comm::{FaultPlan, RetryPolicy};
+use distgnn_comm::{FaultPlan, ProgressMode, RetryPolicy};
 use distgnn_core::dist::WirePrecision;
 use distgnn_core::DistMode;
 use distgnn_graph::ScaledConfig;
@@ -37,6 +37,9 @@ pub struct Cli {
     pub trace_out: Option<String>,
     /// Write the end-of-run metrics JSON here (enables recording).
     pub metrics_out: Option<String>,
+    /// Overlap-first epoch loop with this comm progress mode
+    /// (`None` = blocking loop).
+    pub progress: Option<ProgressMode>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +75,7 @@ impl Default for Cli {
             max_restarts: 0,
             trace_out: None,
             metrics_out: None,
+            progress: None,
         }
     }
 }
@@ -126,6 +130,10 @@ OPTIONS:
     --blocks <usize>     kernel cache blocks n_B      (default auto)
     --seed <u64>         partitioning seed            (default 0xD15)
     --faults <spec>      fault-injection scenario     (default none)
+    --progress <polled|thread>  overlap-first epoch loop: async collectives
+                         progressed by polling or by per-rank progress
+                         threads (default: blocking loop; trained params
+                         are bit-identical either way)
 
 RECOVERY OPTIONS (dist-train):
     --retries <u32>          collective retry rounds before abort
@@ -190,6 +198,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--checkpoint-dir" => cli.checkpoint_dir = Some(value()?.clone()),
             "--resume" => cli.resume = true,
             "--max-restarts" => cli.max_restarts = parse_num(flag, value()?)?,
+            "--progress" => cli.progress = Some(ProgressMode::parse(value()?)?),
             "--wire" => {
                 cli.wire = match value()?.as_str() {
                     "fp32" => WirePrecision::Fp32,
@@ -343,6 +352,18 @@ mod tests {
         assert_eq!(cli.metrics_out.as_deref(), Some("metrics.json"));
         assert!(cli.wants_telemetry());
         assert!(!parse(&argv("dist-train")).unwrap().wants_telemetry());
+    }
+
+    #[test]
+    fn progress_flag_selects_overlap() {
+        let cli = parse(&argv("dist-train --progress thread")).unwrap();
+        assert_eq!(cli.progress, Some(ProgressMode::Thread));
+        assert_eq!(
+            parse(&argv("dist-train --progress polled")).unwrap().progress,
+            Some(ProgressMode::Polled)
+        );
+        assert_eq!(parse(&argv("dist-train")).unwrap().progress, None);
+        assert!(parse(&argv("dist-train --progress eager")).is_err());
     }
 
     #[test]

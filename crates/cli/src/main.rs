@@ -77,6 +77,7 @@ fn dist_train(cli: &Cli) {
     cfg.retry = cli.retry_policy();
     cfg.checkpoint_every = cli.checkpoint_every;
     cfg.checkpoint_dir = cli.checkpoint_dir.as_ref().map(std::path::PathBuf::from);
+    cfg.overlap = cli.progress;
     println!(
         "mode {}, {} sockets, wire {}{}",
         cli.mode.name(),

@@ -10,6 +10,7 @@
 //! barrier).
 
 use crate::faults::FaultPlan;
+use crate::progress::{ProgressEngine, ProgressMode};
 use crate::retry::RetryPolicy;
 use crate::stats::{CommSnapshot, CommStats};
 use distgnn_telemetry::{Phase, Recorder, TraceCounter};
@@ -18,6 +19,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 /// Typed communication failure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +112,8 @@ struct Shared {
     /// Tagged async mailboxes, `tagged[src][dst]`.
     tagged: Vec<Vec<Mailbox>>,
     stats: Vec<CommStats>,
+    /// Handle-based async collectives (see [`crate::progress`]).
+    progress: ProgressEngine,
     /// `None` unless the run injects faults (zero-overhead fast path).
     faults: Option<FaultRuntime>,
     /// One phase recorder per rank. Disabled recorders (the default)
@@ -138,6 +142,7 @@ impl Shared {
                 .map(|_| (0..size).map(|_| Mutex::new(HashMap::new())).collect())
                 .collect(),
             stats: (0..size).map(|_| CommStats::new()).collect(),
+            progress: ProgressEngine::new(size),
             faults: if plan.is_none() {
                 None
             } else {
@@ -229,6 +234,8 @@ impl Cluster {
                         shared,
                         barriers: Cell::new(0),
                         epoch: Cell::new(0),
+                        ar_seq: Cell::new(0),
+                        progress_mode: Cell::new(ProgressMode::Polled),
                     };
                     *slot = Some(f(&mut ctx));
                 }));
@@ -256,6 +263,13 @@ pub struct RankCtx<'a> {
     /// Current training epoch (set by the trainer); the clock that
     /// stall faults are expressed in.
     epoch: Cell<u64>,
+    /// Sequence counter for async AllReduce ops. Ranks run the same
+    /// SPMD program, so sequence n names the same logical collective on
+    /// every rank — the key the progress engine matches contributions
+    /// under.
+    ar_seq: Cell<u64>,
+    /// How this rank progresses its async ops (see [`ProgressMode`]).
+    progress_mode: Cell<ProgressMode>,
 }
 
 impl RankCtx<'_> {
@@ -688,6 +702,186 @@ impl RankCtx<'_> {
     }
 }
 
+/// An in-flight asynchronous AllReduce (see
+/// [`RankCtx::all_reduce_sum_async`]). Poll with
+/// [`RankCtx::all_reduce_poll`], retire with
+/// [`RankCtx::all_reduce_wait`].
+#[must_use = "an unwaited handle leaks its slot in the progress engine"]
+pub struct AllReduceHandle {
+    seq: u64,
+    len: usize,
+    posted: Instant,
+    /// Single-rank short circuit: the input is already the sum.
+    local: Option<Vec<f32>>,
+}
+
+/// An in-flight asynchronous variable AlltoAll (see
+/// [`RankCtx::all_to_all_v_async`]).
+#[must_use = "an unwaited handle leaks its payloads in the progress engine"]
+pub struct AllToAllHandle {
+    posted: Instant,
+    /// This rank's own slot, passed through at wait.
+    own: Option<Vec<f32>>,
+    /// Under an active fault plan the exchange completes through the
+    /// blocking retry/abort ladder at wait time: the payloads and the
+    /// policy are captured here and nothing is posted to the engine.
+    fallback: Option<(Vec<Vec<f32>>, RetryPolicy)>,
+}
+
+impl RankCtx<'_> {
+    /// Selects how this rank progresses its asynchronous collectives.
+    /// Defaults to [`ProgressMode::Polled`].
+    pub fn set_progress_mode(&self, mode: ProgressMode) {
+        self.progress_mode.set(mode);
+    }
+
+    pub fn progress_mode(&self) -> ProgressMode {
+        self.progress_mode.get()
+    }
+
+    /// Advances this rank's *local* barrier clock without a rendezvous,
+    /// as if it had crossed `n` barriers. The overlapped epoch loop
+    /// calls this at the program points where the blocking schedule
+    /// crosses real barriers (AllReduce, checkpoint votes): every rank
+    /// advances identically at the same point, so the clock arithmetic
+    /// that delay-fault visibility is expressed in stays bit-identical
+    /// to the blocking run — without paying for the rendezvous.
+    pub fn advance_local_clock(&self, n: u64) {
+        self.barriers.set(self.barriers.get() + n);
+    }
+
+    /// Nonblocking sum-AllReduce: posts this rank's contribution to the
+    /// progress engine and returns immediately. The matching
+    /// [`RankCtx::all_reduce_wait`] blocks until every rank's
+    /// contribution arrived and returns the sum, accumulated in
+    /// ascending rank order — bit-identical to
+    /// [`RankCtx::all_reduce_sum`]. Reliable like the blocking variant:
+    /// fault rules do not apply, and no barrier is crossed.
+    pub fn all_reduce_sum_async(&self, buf: Vec<f32>) -> AllReduceHandle {
+        let k = self.size();
+        let stats = &self.shared.stats[self.rank];
+        stats.record_handle_posted();
+        if k == 1 {
+            return AllReduceHandle { seq: 0, len: buf.len(), posted: Instant::now(), local: Some(buf) };
+        }
+        let _s = self.telemetry().scope(Phase::CommSend);
+        let seq = self.ar_seq.get();
+        self.ar_seq.set(seq + 1);
+        stats.record_send((buf.len() * 4) as u64);
+        let handle =
+            AllReduceHandle { seq, len: buf.len(), posted: Instant::now(), local: None };
+        self.shared.progress.post_reduce(self.rank, self.progress_mode.get(), seq, buf);
+        handle
+    }
+
+    /// True when [`RankCtx::all_reduce_wait`] would return without
+    /// blocking.
+    pub fn all_reduce_poll(&self, handle: &AllReduceHandle) -> bool {
+        handle.local.is_some() || self.shared.progress.reduce_ready(handle.seq)
+    }
+
+    /// Blocks until the AllReduce behind `handle` completed on every
+    /// rank and returns the element-wise sum.
+    pub fn all_reduce_wait(&self, handle: AllReduceHandle) -> Vec<f32> {
+        let stats = &self.shared.stats[self.rank];
+        if let Some(buf) = handle.local {
+            stats.record_handle_completed(0, handle.posted.elapsed().as_nanos() as u64);
+            return buf;
+        }
+        let wait_start = Instant::now();
+        let overlap_ns = wait_start.duration_since(handle.posted).as_nanos() as u64;
+        let _w = self.telemetry().scope(Phase::CommWait);
+        let out = self.shared.progress.wait_reduce(handle.seq, handle.len);
+        let wire = (handle.len * 4) as u64;
+        for _ in 1..self.size() {
+            stats.record_recv(wire);
+        }
+        stats.record_handle_completed(wait_start.elapsed().as_nanos() as u64, overlap_ns);
+        out
+    }
+
+    /// Nonblocking variable AlltoAll: posts `outgoing[p]` toward rank
+    /// `p` and returns immediately; the matching
+    /// [`RankCtx::all_to_all_v_wait`] blocks until one payload from
+    /// every peer is available. Fault-free, payload routing is
+    /// barrier-free and bit-identical to [`RankCtx::all_to_all_v`].
+    /// Under an active fault plan the handle captures the payloads and
+    /// the wait completes through [`RankCtx::all_to_all_v_retry`] —
+    /// same fault decisions, same retry ladder, same collective abort.
+    ///
+    /// # Panics
+    /// Panics if `outgoing.len() != size`.
+    pub fn all_to_all_v_async(
+        &self,
+        outgoing: Vec<Vec<f32>>,
+        policy: &RetryPolicy,
+    ) -> AllToAllHandle {
+        let k = self.size();
+        assert_eq!(outgoing.len(), k, "need one payload per rank");
+        let stats = &self.shared.stats[self.rank];
+        stats.record_handle_posted();
+        if self.shared.faults.is_some() {
+            return AllToAllHandle {
+                posted: Instant::now(),
+                own: None,
+                fallback: Some((outgoing, *policy)),
+            };
+        }
+        let _s = self.telemetry().scope(Phase::CommSend);
+        let mut own = None;
+        let mut items = Vec::with_capacity(k.saturating_sub(1));
+        for (dst, payload) in outgoing.into_iter().enumerate() {
+            if dst == self.rank {
+                own = Some(payload);
+                continue;
+            }
+            stats.record_send((payload.len() * 4) as u64);
+            items.push((dst, payload));
+        }
+        let handle = AllToAllHandle { posted: Instant::now(), own, fallback: None };
+        self.shared.progress.post_exchange(self.rank, self.progress_mode.get(), items);
+        handle
+    }
+
+    /// True when [`RankCtx::all_to_all_v_wait`] would return without
+    /// blocking. A fault-mode handle reports `false`: its completion
+    /// needs the collective retry rendezvous.
+    pub fn all_to_all_v_poll(&self, handle: &AllToAllHandle) -> bool {
+        handle.fallback.is_none() && self.shared.progress.exchange_ready(self.rank)
+    }
+
+    /// Blocks until a payload from every peer is available and returns
+    /// them in source-rank order (own slot passed through), exactly
+    /// like the blocking AlltoAllv.
+    pub fn all_to_all_v_wait(
+        &self,
+        handle: AllToAllHandle,
+    ) -> Result<Vec<Vec<f32>>, CommError> {
+        let stats = &self.shared.stats[self.rank];
+        if let Some((outgoing, policy)) = handle.fallback {
+            let wait_start = Instant::now();
+            let overlap_ns = wait_start.duration_since(handle.posted).as_nanos() as u64;
+            let out = self.all_to_all_v_retry(outgoing, &policy);
+            stats.record_handle_completed(wait_start.elapsed().as_nanos() as u64, overlap_ns);
+            return out;
+        }
+        let wait_start = Instant::now();
+        let overlap_ns = wait_start.duration_since(handle.posted).as_nanos() as u64;
+        let _w = self.telemetry().scope(Phase::CommWait);
+        let incoming = self
+            .shared
+            .progress
+            .wait_exchange(self.rank, handle.own.unwrap_or_default());
+        for (src, payload) in incoming.iter().enumerate() {
+            if src != self.rank {
+                stats.record_recv((payload.len() * 4) as u64);
+            }
+        }
+        stats.record_handle_completed(wait_start.elapsed().as_nanos() as u64, overlap_ns);
+        Ok(incoming)
+    }
+}
+
 /// One posted-but-unconsumed tagged message, as captured by
 /// [`RankCtx::export_outbox`] for checkpointing.
 #[derive(Clone, Debug, PartialEq)]
@@ -801,6 +995,106 @@ mod tests {
         for s in snaps {
             assert_eq!(s.bytes_sent, 8 * 4 + 4 * 4);
             assert_eq!(s.bytes_received, 8 * 4 + 4 * 4);
+        }
+    }
+
+    #[test]
+    fn async_all_reduce_matches_blocking_bit_for_bit() {
+        let blocking = Cluster::run(4, |ctx| {
+            let mut buf: Vec<f32> =
+                (0..16).map(|i| (ctx.rank() * 16 + i) as f32 * 0.37).collect();
+            ctx.all_reduce_sum(&mut buf);
+            buf
+        });
+        for mode in [ProgressMode::Polled, ProgressMode::Thread] {
+            let (overlapped, snaps) = Cluster::run_with_stats(4, move |ctx| {
+                ctx.set_progress_mode(mode);
+                let buf: Vec<f32> =
+                    (0..16).map(|i| (ctx.rank() * 16 + i) as f32 * 0.37).collect();
+                let h = ctx.all_reduce_sum_async(buf);
+                ctx.all_reduce_wait(h)
+            });
+            assert_eq!(blocking, overlapped, "mode {mode:?}");
+            for s in snaps {
+                assert_eq!(s.handle_ops_posted, 1);
+                assert_eq!(s.handle_ops_completed, 1);
+                // Same wire accounting as the blocking AllReduce.
+                assert_eq!(s.bytes_sent, 16 * 4);
+                assert_eq!(s.bytes_received, 3 * 16 * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn async_all_to_all_matches_blocking_bit_for_bit() {
+        let blocking = Cluster::run(3, |ctx| {
+            let outgoing: Vec<Vec<f32>> =
+                (0..3).map(|dst| vec![(ctx.rank() * 10 + dst) as f32]).collect();
+            ctx.all_to_all_v(outgoing).expect("no faults")
+        });
+        for mode in [ProgressMode::Polled, ProgressMode::Thread] {
+            let overlapped = Cluster::run(3, move |ctx| {
+                ctx.set_progress_mode(mode);
+                let outgoing: Vec<Vec<f32>> =
+                    (0..3).map(|dst| vec![(ctx.rank() * 10 + dst) as f32]).collect();
+                let h = ctx.all_to_all_v_async(outgoing, &RetryPolicy::none());
+                ctx.all_to_all_v_wait(h).expect("no faults")
+            });
+            assert_eq!(blocking, overlapped, "mode {mode:?}");
+        }
+    }
+
+    /// Several AllReduces may be in flight at once; waits retire them
+    /// by sequence, in any order the caller chooses.
+    #[test]
+    fn multiple_async_reduces_overlap_in_flight() {
+        let out = Cluster::run(3, |ctx| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| ctx.all_reduce_sum_async(vec![(ctx.rank() + i) as f32]))
+                .collect();
+            // Waited in reverse posting order on purpose.
+            let mut sums: Vec<f32> =
+                handles.into_iter().rev().map(|h| ctx.all_reduce_wait(h)[0]).collect();
+            sums.reverse();
+            sums
+        });
+        // Op i sums (0+i) + (1+i) + (2+i) = 3 + 3i.
+        for per_rank in out {
+            assert_eq!(per_rank, vec![3.0, 6.0, 9.0, 12.0]);
+        }
+    }
+
+    #[test]
+    fn async_poll_reports_readiness() {
+        let out = Cluster::run(2, |ctx| {
+            let h = ctx.all_reduce_sum_async(vec![1.0]);
+            // Rendezvous so both contributions are deposited (polled
+            // mode deposits inline at post).
+            ctx.barrier();
+            let ready = ctx.all_reduce_poll(&h);
+            (ready, ctx.all_reduce_wait(h))
+        });
+        for (ready, sum) in out {
+            assert!(ready, "both contributions were in before the poll");
+            assert_eq!(sum, vec![2.0]);
+        }
+    }
+
+    /// Async ops must never advance the barrier clock: the overlapped
+    /// trainer accounts for skipped rendezvous explicitly via
+    /// `advance_local_clock`.
+    #[test]
+    fn async_ops_leave_the_barrier_clock_alone() {
+        let out = Cluster::run(2, |ctx| {
+            let h = ctx.all_reduce_sum_async(vec![1.0]);
+            let _ = ctx.all_reduce_wait(h);
+            let before = ctx.barriers_crossed();
+            ctx.advance_local_clock(4);
+            (before, ctx.barriers_crossed())
+        });
+        for (before, after) in out {
+            assert_eq!(before, 0);
+            assert_eq!(after, 4);
         }
     }
 
@@ -1022,6 +1316,32 @@ mod fault_tests {
             assert_eq!(r, Ok(vec![4.5]));
         }
         assert!(snaps.iter().all(|s| s.retries_attempted > 0));
+    }
+
+    /// Under an active fault plan an async AlltoAllv completes through
+    /// the blocking retry ladder at wait time: same fault decisions,
+    /// same retry counters, same payloads as the blocking call.
+    #[test]
+    fn async_all_to_all_falls_back_to_blocking_under_faults() {
+        let plan = FaultPlan::none().with_seed(13).with_delay(1.0, 3);
+        let (blocking, bsnaps) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let outgoing = (0..2).map(|d| vec![(ctx.rank() * 10 + d) as f32]).collect();
+            ctx.all_to_all_v_retry(outgoing, &RetryPolicy::standard()).expect("absorbed")
+        });
+        let (asynced, asnaps) = Cluster::run_with_faults(2, &plan, |ctx| {
+            let outgoing = (0..2).map(|d| vec![(ctx.rank() * 10 + d) as f32]).collect();
+            let h = ctx.all_to_all_v_async(outgoing, &RetryPolicy::standard());
+            assert!(!ctx.all_to_all_v_poll(&h), "fault-mode completion needs the collective wait");
+            ctx.all_to_all_v_wait(h).expect("absorbed")
+        });
+        assert_eq!(blocking, asynced, "fallback must deliver the blocking payloads");
+        for (b, a) in bsnaps.iter().zip(&asnaps) {
+            assert_eq!(a.retries_attempted, b.retries_attempted);
+            assert_eq!(a.bytes_received, b.bytes_received);
+            assert_eq!(a.messages_delayed, b.messages_delayed);
+            assert_eq!(a.handle_ops_posted, 1);
+            assert_eq!(a.handle_ops_completed, 1);
+        }
     }
 
     #[test]
@@ -1256,15 +1576,15 @@ mod collective_tests {
                 ctx.all_to_all_v_retry(outgoing, &RetryPolicy::standard()).is_ok()
             });
         assert!(out.iter().all(|ok| *ok));
-        for r in 0..2 {
+        for (r, snap) in snaps.iter().enumerate() {
             assert_eq!(
                 hub.rank(r).counter_total(TraceCounter::Retry),
-                snaps[r].retries_attempted,
+                snap.retries_attempted,
                 "trace counter must mirror CommStats"
             );
             assert_eq!(
                 hub.rank(r).counter_total(TraceCounter::Backoff),
-                snaps[r].backoff_barriers
+                snap.backoff_barriers
             );
         }
     }

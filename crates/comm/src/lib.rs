@@ -31,11 +31,13 @@
 pub mod cluster;
 pub mod faults;
 pub mod netmodel;
+pub mod progress;
 pub mod retry;
 pub mod stats;
 
-pub use cluster::{Cluster, CommError, PendingMsg, RankCtx};
+pub use cluster::{AllReduceHandle, AllToAllHandle, Cluster, CommError, PendingMsg, RankCtx};
 pub use faults::FaultPlan;
 pub use netmodel::NetworkModel;
+pub use progress::ProgressMode;
 pub use retry::RetryPolicy;
 pub use stats::{CommSnapshot, CommStats};

@@ -162,6 +162,7 @@ pub struct RankAggregator<'a, 'b> {
     fwd_state: CdrState,
     precision: WirePrecision,
     retry: RetryPolicy,
+    overlap: bool,
     epoch: u64,
     /// First communication failure observed by a sync; forward/backward
     /// cannot return errors through the `Aggregator` trait, so the
@@ -207,6 +208,7 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
             fwd_state: CdrState::default(),
             precision: WirePrecision::Fp32,
             retry: RetryPolicy::standard(),
+            overlap: false,
             epoch: 0,
             error: None,
             lat: Duration::ZERO,
@@ -228,6 +230,16 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
     /// [`RetryPolicy::none`] restores fail-fast semantics.
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Routes the blocking clone-sync exchanges through the progress
+    /// engine (post + wait instead of the barrier-stepped collective).
+    /// Payloads and reduction order are unchanged, so results stay
+    /// bit-identical; under an active fault plan the engine falls back
+    /// to the retrying collective internally.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
         self
     }
 
@@ -341,12 +353,13 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
             DistMode::Oc => {}
             DistMode::Cd0 => {
                 self.error =
-                    sync_blocking(self.ctx, &self.topo(), m, self.precision, &self.retry).err();
+                    sync_blocking(self.ctx, &self.topo(), m, self.precision, &self.retry, self.overlap)
+                        .err();
             }
             DistMode::CdR { delay } => {
                 if delay == 0 {
                     self.error =
-                        sync_blocking(self.ctx, &self.topo(), m, self.precision, &self.retry)
+                        sync_blocking(self.ctx, &self.topo(), m, self.precision, &self.retry, self.overlap)
                             .err();
                 } else if !backward {
                     let topo = SyncTopo {
@@ -441,14 +454,23 @@ fn sync_blocking(
     m: &mut Matrix,
     prec: WirePrecision,
     retry: &RetryPolicy,
+    overlap: bool,
 ) -> Result<(), CommError> {
+    let exchange = |outgoing: Vec<Vec<f32>>| -> Result<Vec<Vec<f32>>, CommError> {
+        if overlap {
+            let handle = ctx.all_to_all_v_async(outgoing, retry);
+            ctx.all_to_all_v_wait(handle)
+        } else {
+            ctx.all_to_all_v_retry(outgoing, retry)
+        }
+    };
     let k = ctx.size();
     let d = m.cols();
     // Phase 1: leaves -> roots.
     let outgoing: Vec<Vec<f32>> = (0..k)
         .map(|p| encode(prec, gather_rows(m, &topo.routes_out[p].leaf_locals, d)))
         .collect();
-    let incoming = ctx.all_to_all_v_retry(outgoing, retry)?;
+    let incoming = exchange(outgoing)?;
     for (q, payload) in incoming.iter().enumerate() {
         let len = topo.routes_in[q].root_locals.len() * d;
         let payload = decode(prec, payload, len);
@@ -458,7 +480,7 @@ fn sync_blocking(
     let outgoing: Vec<Vec<f32>> = (0..k)
         .map(|q| encode(prec, gather_rows(m, &topo.routes_in[q].root_locals, d)))
         .collect();
-    let incoming = ctx.all_to_all_v_retry(outgoing, retry)?;
+    let incoming = exchange(outgoing)?;
     for (p, payload) in incoming.iter().enumerate() {
         let len = topo.routes_out[p].leaf_locals.len() * d;
         let payload = decode(prec, payload, len);

@@ -30,7 +30,8 @@ pub mod variants;
 pub mod workmodel;
 
 pub use dist::{
-    build_metrics, DistConfig, DistEpochReport, DistError, DistMode, DistTrainer, RecoveryReport,
+    build_metrics, DistConfig, DistEpochReport, DistError, DistMode, DistRunReport, DistTrainer,
+    RecoveryReport,
 };
 pub use model::{Aggregator, GraphSage, LayerWorkspace, SageConfig, SageWorkspace};
 pub use single::{SingleSocketAggregator, Trainer, TrainerConfig};

@@ -1,0 +1,256 @@
+//! Background checkpoint writer: epoch snapshots off the critical path.
+//!
+//! The blocking cluster checkpoint stalls every rank for the full
+//! serialize + write + fsync + vote protocol at the epoch boundary.
+//! With the overlap engine the trainer instead encodes its
+//! [`TrainState`](crate::checkpoint::TrainState) in memory (cheap,
+//! deterministic) and hands the bytes to this writer; the write+fsync
+//! and the commit rename happen on a dedicated background thread while
+//! training continues into the next epoch.
+//!
+//! The vote-then-commit protocol is preserved in a different shape:
+//! the writer groups submissions by epoch and commits — staging dir,
+//! one `rank-<r>.state` per rank, manifest, atomic dir rename — only
+//! once **all** ranks' payloads for that epoch arrived and every write
+//! succeeded. A failed write aborts the whole epoch's snapshot (the
+//! staging dir is removed, training is unaffected), so an observer
+//! never sees a partial checkpoint: the same all-or-nothing guarantee
+//! the blocking vote provides. The bounded submission channel holds at
+//! most two epochs of encoded state (double buffering): a rank only
+//! blocks on submit if the writer has fallen a full checkpoint period
+//! behind the disk.
+//!
+//! Call [`AsyncCheckpointWriter::finish`] after the cluster threads
+//! join and before inspecting the checkpoint store — it drains the
+//! queue, so every submitted epoch is either committed or recorded as
+//! failed. Because crash aborts are collective at epoch start, either
+//! all ranks submit an epoch or none do; the set of committed
+//! checkpoints a recovery supervisor can observe is therefore the same
+//! as with the blocking protocol.
+
+use crate::atomic::atomic_write;
+use crate::checkpoint::save_cluster_manifest;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// One rank's encoded state for one epoch.
+struct Job {
+    epoch: u64,
+    rank: usize,
+    bytes: Vec<u8>,
+}
+
+/// What the writer thread did, returned by
+/// [`AsyncCheckpointWriter::finish`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CheckpointWriterReport {
+    /// Epochs committed (staging dir renamed to `ckpt-<epoch>`).
+    pub committed: Vec<u64>,
+    /// Epochs skipped because `ckpt-<epoch>` already existed (replay
+    /// after a resume).
+    pub skipped: Vec<u64>,
+    /// Epochs whose snapshot aborted on a write error; no partial
+    /// checkpoint remains on disk.
+    pub failed: Vec<u64>,
+}
+
+/// Background writer for cluster checkpoints (see module docs).
+pub struct AsyncCheckpointWriter {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    handle: Option<JoinHandle<CheckpointWriterReport>>,
+}
+
+impl AsyncCheckpointWriter {
+    /// Spawns the writer thread for a `ranks`-rank cluster whose
+    /// checkpoint store lives under `root`.
+    pub fn new(root: &Path, ranks: usize) -> Self {
+        assert!(ranks >= 1, "need at least one rank");
+        let (tx, rx) = sync_channel::<Job>(2 * ranks);
+        let root = root.to_path_buf();
+        let handle = std::thread::spawn(move || {
+            let mut pending: HashMap<u64, Vec<Option<Vec<u8>>>> = HashMap::new();
+            let mut report = CheckpointWriterReport::default();
+            for job in rx {
+                let states = pending
+                    .entry(job.epoch)
+                    .or_insert_with(|| (0..ranks).map(|_| None).collect());
+                states[job.rank] = Some(job.bytes);
+                if states.iter().all(Option::is_some) {
+                    let states = pending.remove(&job.epoch).expect("entry just filled");
+                    commit_epoch(&root, job.epoch, states, &mut report);
+                }
+            }
+            report
+        });
+        AsyncCheckpointWriter { tx: Mutex::new(Some(tx)), handle: Some(handle) }
+    }
+
+    /// Queues one rank's encoded state for `epoch`. Blocks only when
+    /// the writer is two full epochs behind (double-buffer
+    /// backpressure). Returns `false` if the writer thread is gone.
+    pub fn submit(&self, epoch: u64, rank: usize, bytes: Vec<u8>) -> bool {
+        let tx = self.tx.lock().expect("writer handle poisoned");
+        match tx.as_ref() {
+            Some(tx) => tx.send(Job { epoch, rank, bytes }).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the queue, drains it, and joins the writer thread. After
+    /// this returns, every submitted epoch has been committed, skipped,
+    /// or aborted — the checkpoint store is quiescent.
+    pub fn finish(mut self) -> CheckpointWriterReport {
+        self.tx.lock().expect("writer handle poisoned").take();
+        match self.handle.take() {
+            Some(h) => h.join().expect("checkpoint writer panicked"),
+            None => CheckpointWriterReport::default(),
+        }
+    }
+}
+
+impl Drop for AsyncCheckpointWriter {
+    fn drop(&mut self) {
+        self.tx.lock().expect("writer handle poisoned").take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Writes and commits one epoch's snapshot: all-or-nothing, mirroring
+/// the blocking vote-then-commit (a failed write removes the staging
+/// dir instead of renaming it).
+fn commit_epoch(
+    root: &Path,
+    epoch: u64,
+    states: Vec<Option<Vec<u8>>>,
+    report: &mut CheckpointWriterReport,
+) {
+    let committed: PathBuf = root.join(format!("ckpt-{epoch}"));
+    if committed.exists() {
+        // A resumed run replays epochs it already snapshotted; the
+        // existing commit is authoritative (same reason the blocking
+        // protocol's skip-vote exists).
+        report.skipped.push(epoch);
+        return;
+    }
+    let staging = root.join(format!("ckpt-{epoch}.tmp"));
+    let _ = std::fs::remove_dir_all(&staging);
+    let ranks = states.len();
+    let write_all = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&staging)?;
+        for (rank, bytes) in states.iter().enumerate() {
+            let bytes = bytes.as_ref().expect("commit only runs once all ranks arrived");
+            atomic_write(&staging.join(format!("rank-{rank}.state")), bytes)
+                .map_err(std::io::Error::other)?;
+        }
+        save_cluster_manifest(&staging, epoch, ranks).map_err(std::io::Error::other)?;
+        std::fs::rename(&staging, &committed)
+    };
+    if write_all().is_ok() {
+        report.committed.push(epoch);
+    } else {
+        let _ = std::fs::remove_dir_all(&staging);
+        report.failed.push(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{
+        encode_train_state, load_cluster_state, DrpaState, TrainState,
+    };
+    use distgnn_nn::AdamState;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("distgnn-async-writer-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn state(epoch: u64, rank: u32, ranks: u32) -> TrainState {
+        TrainState {
+            epoch,
+            rank,
+            ranks,
+            params: vec![rank as f32, epoch as f32],
+            adam: AdamState::default(),
+            drpa: DrpaState::default(),
+            outbox: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn commits_once_all_ranks_arrive_and_loads_back() {
+        let dir = temp_dir("commit");
+        let w = AsyncCheckpointWriter::new(&dir, 2);
+        for epoch in [3u64, 6] {
+            for rank in 0..2u32 {
+                let s = state(epoch, rank, 2);
+                assert!(w.submit(epoch, rank as usize, encode_train_state(&s)));
+            }
+        }
+        let report = w.finish();
+        assert_eq!(report.committed, vec![3, 6]);
+        assert!(report.skipped.is_empty() && report.failed.is_empty());
+        let loaded = load_cluster_state(&dir.join("ckpt-6")).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[1].params, vec![1.0, 6.0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incomplete_epoch_never_commits() {
+        let dir = temp_dir("incomplete");
+        let w = AsyncCheckpointWriter::new(&dir, 2);
+        let s = state(4, 0, 2);
+        assert!(w.submit(4, 0, encode_train_state(&s)));
+        let report = w.finish();
+        assert!(report.committed.is_empty(), "half an epoch must not commit");
+        assert!(!dir.join("ckpt-4").exists());
+        assert!(!dir.join("ckpt-4.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn existing_commit_is_skipped_not_overwritten() {
+        let dir = temp_dir("skip");
+        let w = AsyncCheckpointWriter::new(&dir, 1);
+        assert!(w.submit(2, 0, encode_train_state(&state(2, 0, 1))));
+        assert_eq!(w.finish().committed, vec![2]);
+        let before = std::fs::read(dir.join("ckpt-2/rank-0.state")).unwrap();
+
+        let w = AsyncCheckpointWriter::new(&dir, 1);
+        let mut other = state(2, 0, 1);
+        other.params = vec![9.0, 9.0];
+        assert!(w.submit(2, 0, encode_train_state(&other)));
+        let report = w.finish();
+        assert_eq!(report.skipped, vec![2]);
+        assert_eq!(
+            std::fs::read(dir.join("ckpt-2/rank-0.state")).unwrap(),
+            before,
+            "a replayed epoch must not rewrite the committed snapshot"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encode_matches_blocking_save_bytes() {
+        let dir = temp_dir("bytes");
+        let s = state(7, 0, 1);
+        let path = dir.join("direct.state");
+        crate::checkpoint::save_train_state(&path, &s).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            encode_train_state(&s),
+            "encode + write must be byte-identical to save_train_state"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -337,6 +337,16 @@ fn section_name(i: usize) -> String {
 /// coordinates, a section table carrying each section's length and
 /// CRC32, then the section payloads.
 pub fn save_train_state(path: &Path, state: &TrainState) -> Result<(), IoError> {
+    atomic_write(path, &encode_train_state(state))
+}
+
+/// Serializes one rank's state to the checkpoint wire format without
+/// touching the filesystem. The async checkpoint writer encodes on the
+/// rank thread (cheap, deterministic) and ships the bytes to a
+/// background thread for the write+fsync (expensive, off the critical
+/// path); `encode` + [`atomic_write`] is byte-identical to
+/// [`save_train_state`].
+pub fn encode_train_state(state: &TrainState) -> Vec<u8> {
     let sections = [
         encode_params(&state.params),
         encode_adam(&state.adam),
@@ -362,7 +372,7 @@ pub fn save_train_state(path: &Path, state: &TrainState) -> Result<(), IoError> 
     for payload in &sections {
         buf.extend_from_slice(payload);
     }
-    atomic_write(path, &buf)
+    buf
 }
 
 /// Loads and fully validates one rank's state: bad magic and version

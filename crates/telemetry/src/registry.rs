@@ -38,10 +38,16 @@ pub enum Metric {
     // Recovery supervisor.
     Restarts = 14,
     EpochsReplayed = 15,
+    // Handle-based async collectives (the overlap engine; zero on the
+    // blocking paths).
+    HandleOpsPosted = 16,
+    HandleOpsCompleted = 17,
+    HandleWaitNs = 18,
+    HandleOverlapNs = 19,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 16;
+pub const METRIC_COUNT: usize = 20;
 
 /// All metrics, in discriminant order.
 pub const METRICS: [Metric; METRIC_COUNT] = [
@@ -61,6 +67,10 @@ pub const METRICS: [Metric; METRIC_COUNT] = [
     Metric::KernelBytes,
     Metric::Restarts,
     Metric::EpochsReplayed,
+    Metric::HandleOpsPosted,
+    Metric::HandleOpsCompleted,
+    Metric::HandleWaitNs,
+    Metric::HandleOverlapNs,
 ];
 
 impl Metric {
@@ -83,6 +93,10 @@ impl Metric {
             Metric::KernelBytes => "kernel_bytes",
             Metric::Restarts => "restarts",
             Metric::EpochsReplayed => "epochs_replayed",
+            Metric::HandleOpsPosted => "handle_ops_posted",
+            Metric::HandleOpsCompleted => "handle_ops_completed",
+            Metric::HandleWaitNs => "handle_wait_ns",
+            Metric::HandleOverlapNs => "handle_overlap_ns",
         }
     }
 

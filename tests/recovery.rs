@@ -283,3 +283,32 @@ fn cdr_resumed_trajectory_matches_checkpoint_by_checkpoint() {
     std::fs::remove_dir_all(&dir_a).ok();
     std::fs::remove_dir_all(&dir_b).ok();
 }
+
+/// Strengthened for the overlap-first loop: the same cd-0 drill with
+/// the overlapped epoch loop and the *async* checkpoint writer. The
+/// background writer must have committed `ckpt-6` (and drained before
+/// the supervisor lists the store), and recovery must land on the
+/// uninterrupted same-seed run's exact parameters.
+#[test]
+fn overlapped_async_checkpoints_survive_kill_and_resume() {
+    use distgnn_suite::comm::ProgressMode;
+    let ds = am(0.2);
+    let dir = scratch("overlap-cd0");
+    let mut chaos = DistConfig::new(&ds, DistMode::Cd0, 3, 12);
+    chaos.overlap = Some(ProgressMode::Polled);
+    chaos.checkpoint_every = 3;
+    chaos.checkpoint_dir = Some(dir.clone());
+    chaos.faults = FaultPlan::none().with_crash(1, 7);
+
+    let rec = DistTrainer::try_run_recovering(&ds, &chaos, 1, false)
+        .expect("one restart must absorb the crash with async checkpoints");
+    assert_eq!(rec.restarts, 1);
+    assert_eq!(rec.epochs_replayed, 1, "the async writer must have committed ckpt-6");
+
+    let reference = DistTrainer::try_run(&ds, &reference_of(&chaos)).expect("reference");
+    assert_eq!(
+        rec.run.final_params, reference.final_params,
+        "async-checkpoint kill-and-resume must stay bit-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
