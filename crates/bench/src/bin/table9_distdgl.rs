@@ -57,6 +57,10 @@ fn main() {
         checkpoint_every: 0,
         checkpoint_dir: None,
         overlap: None,
+        codec: distgnn_comm::WireCodec::None,
+        grad_codec: None,
+        error_feedback: true,
+        lossy_checkpoints: false,
     };
     let dist = DistTrainer::run(&ds, &dist_cfg);
 

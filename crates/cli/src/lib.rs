@@ -3,7 +3,7 @@
 //! Hand-rolled parsing (no external dependency): the CLI surface is
 //! small and stable. Split from `main.rs` so the parser is unit-tested.
 
-use distgnn_comm::{FaultPlan, ProgressMode, RetryPolicy};
+use distgnn_comm::{FaultPlan, ProgressMode, RetryPolicy, WireCodec};
 use distgnn_core::dist::WirePrecision;
 use distgnn_core::DistMode;
 use distgnn_graph::ScaledConfig;
@@ -40,6 +40,16 @@ pub struct Cli {
     /// Overlap-first epoch loop with this comm progress mode
     /// (`None` = blocking loop).
     pub progress: Option<ProgressMode>,
+    /// Wire codec for compressed communication
+    /// (`WireCodec::None` = exact uncompressed paths).
+    pub compress: WireCodec,
+    /// Explicit gradient-stream codec override (`None` = derive from
+    /// `compress`; top-k derives int8 — see `DistConfig::gradient_codec`).
+    pub compress_grads: Option<WireCodec>,
+    /// Disable error feedback (naive-truncation baseline).
+    pub no_error_feedback: bool,
+    /// Store checkpoints with bf16-packed weights.
+    pub lossy_checkpoints: bool,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +86,10 @@ impl Default for Cli {
             trace_out: None,
             metrics_out: None,
             progress: None,
+            compress: WireCodec::None,
+            compress_grads: None,
+            no_error_feedback: false,
+            lossy_checkpoints: false,
         }
     }
 }
@@ -134,6 +148,20 @@ OPTIONS:
                          progressed by polling or by per-rank progress
                          threads (default: blocking loop; trained params
                          are bit-identical either way)
+    --compress <none|bf16|topk=K|int8>  wire codec for compressed comm:
+                         gradient AllReduces go through error-feedback
+                         compression, DRPA exchanges ship delta-encoded
+                         payloads (default none = exact paths; excludes
+                         --wire bf16/fp16). topk applies to the DRPA
+                         streams; the sum-reduced gradient stream derives
+                         int8 under topk (sparse spikes destabilize
+                         Adam's second moment)
+    --compress-grads <none|bf16|topk=K|int8>  force the gradient-stream
+                         codec instead of deriving it from --compress
+    --no-error-feedback  drop each epoch's compression error instead of
+                         carrying it into the next gradient (baseline)
+    --lossy-checkpoints  store checkpoint weights as bf16 (half the file,
+                         resume no longer bit-exact)
 
 RECOVERY OPTIONS (dist-train):
     --retries <u32>          collective retry rounds before abort
@@ -199,6 +227,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--resume" => cli.resume = true,
             "--max-restarts" => cli.max_restarts = parse_num(flag, value()?)?,
             "--progress" => cli.progress = Some(ProgressMode::parse(value()?)?),
+            "--compress" => cli.compress = WireCodec::parse(value()?)?,
+            "--compress-grads" => cli.compress_grads = Some(WireCodec::parse(value()?)?),
+            "--no-error-feedback" => cli.no_error_feedback = true,
+            "--lossy-checkpoints" => cli.lossy_checkpoints = true,
             "--wire" => {
                 cli.wire = match value()?.as_str() {
                     "fp32" => WirePrecision::Fp32,
@@ -209,6 +241,16 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    // A codec supersedes the legacy aggregate wire format; stacking
+    // both would quantize clone-sync payloads twice.
+    let grads_lossy = cli.compress_grads.is_some_and(|c| !c.is_identity());
+    if (!cli.compress.is_identity() || grads_lossy) && cli.wire != WirePrecision::Fp32 {
+        return Err(format!(
+            "`--compress {}` conflicts with `--wire {}`: pick one wire encoding",
+            cli.compress.name(),
+            cli.wire.name()
+        ));
     }
     Ok(cli)
 }
@@ -364,6 +406,61 @@ mod tests {
         );
         assert_eq!(parse(&argv("dist-train")).unwrap().progress, None);
         assert!(parse(&argv("dist-train --progress eager")).is_err());
+    }
+
+    #[test]
+    fn compress_flag_parses_every_codec() {
+        assert_eq!(parse(&argv("dist-train")).unwrap().compress, WireCodec::None);
+        assert_eq!(
+            parse(&argv("dist-train --compress bf16")).unwrap().compress,
+            WireCodec::Bf16
+        );
+        assert_eq!(
+            parse(&argv("dist-train --compress topk=10")).unwrap().compress,
+            WireCodec::TopK { percent: 10 }
+        );
+        assert_eq!(
+            parse(&argv("dist-train --compress int8")).unwrap().compress,
+            WireCodec::Int8
+        );
+        assert_eq!(
+            parse(&argv("dist-train --compress none")).unwrap().compress,
+            WireCodec::None
+        );
+        assert!(parse(&argv("dist-train --compress topk=0")).is_err());
+        assert!(parse(&argv("dist-train --compress gzip")).is_err());
+    }
+
+    #[test]
+    fn compress_grads_override_parses() {
+        assert_eq!(parse(&argv("dist-train")).unwrap().compress_grads, None);
+        assert_eq!(
+            parse(&argv("dist-train --compress topk=10 --compress-grads bf16"))
+                .unwrap()
+                .compress_grads,
+            Some(WireCodec::Bf16)
+        );
+        assert_eq!(
+            parse(&argv("dist-train --compress-grads topk=5")).unwrap().compress_grads,
+            Some(WireCodec::TopK { percent: 5 })
+        );
+        assert!(parse(&argv("dist-train --compress-grads gzip")).is_err());
+        // A lossy gradient codec conflicts with the legacy wire formats
+        // even when --compress itself is identity.
+        assert!(parse(&argv("dist-train --compress-grads int8 --wire bf16")).is_err());
+        assert!(parse(&argv("dist-train --compress-grads none --wire bf16")).is_ok());
+    }
+
+    #[test]
+    fn compress_excludes_legacy_wire_formats() {
+        assert!(parse(&argv("dist-train --compress int8 --wire bf16")).is_err());
+        assert!(parse(&argv("dist-train --wire fp16 --compress topk=5")).is_err());
+        // fp32 wire (the default, or explicit) is fine alongside a codec.
+        assert!(parse(&argv("dist-train --compress int8 --wire fp32")).is_ok());
+        assert!(parse(&argv("dist-train --compress none --wire bf16")).is_ok());
+        let cli = parse(&argv("dist-train --compress bf16 --no-error-feedback")).unwrap();
+        assert!(cli.no_error_feedback);
+        assert!(parse(&argv("dist-train --lossy-checkpoints")).unwrap().lossy_checkpoints);
     }
 
     #[test]

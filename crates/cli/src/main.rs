@@ -78,11 +78,16 @@ fn dist_train(cli: &Cli) {
     cfg.checkpoint_every = cli.checkpoint_every;
     cfg.checkpoint_dir = cli.checkpoint_dir.as_ref().map(std::path::PathBuf::from);
     cfg.overlap = cli.progress;
+    cfg.codec = cli.compress;
+    cfg.grad_codec = cli.compress_grads;
+    cfg.error_feedback = !cli.no_error_feedback;
+    cfg.lossy_checkpoints = cli.lossy_checkpoints;
     println!(
-        "mode {}, {} sockets, wire {}{}",
+        "mode {}, {} sockets, wire {}, compress {}{}",
         cli.mode.name(),
         cli.sockets,
         cli.wire.name(),
+        cli.compress.name(),
         if cli.faults.is_none() { "" } else { ", fault injection ON" }
     );
     let hub = if cli.wants_telemetry() {
@@ -139,11 +144,20 @@ fn dist_train(cli: &Cli) {
         }
     }
     let sent: u64 = report.per_rank_comm.iter().map(|s| s.bytes_sent).sum();
+    let logical: u64 = report.per_rank_comm.iter().map(|s| s.logical_bytes_sent).sum();
     println!(
         "test accuracy: {:.2}%   total sent: {:.1} MiB",
         report.test_accuracy * 100.0,
         sent as f64 / (1 << 20) as f64
     );
+    if logical != sent {
+        println!(
+            "compression: {:.1} MiB logical -> {:.1} MiB wire ({:.2}x)",
+            logical as f64 / (1 << 20) as f64,
+            sent as f64 / (1 << 20) as f64,
+            logical as f64 / sent.max(1) as f64
+        );
+    }
     print_fault_summary(&report.per_rank_comm);
     if cli.wants_telemetry() {
         let reg = build_metrics(&cfg, &report, &hub);

@@ -9,6 +9,7 @@
 //! aligned (an asymmetric early return would deadlock the next
 //! barrier).
 
+use crate::codec::{ErrorFeedback, WireCodec};
 use crate::faults::FaultPlan;
 use crate::progress::{ProgressEngine, ProgressMode};
 use crate::retry::RetryPolicy;
@@ -363,6 +364,93 @@ impl RankCtx<'_> {
         self.barrier();
     }
 
+    /// [`RankCtx::all_reduce_sum`] through a [`WireCodec`] with
+    /// per-rank error feedback: each rank contributes
+    /// `x̂ = dec(enc(buf + residual))` and carries `residual' = x − x̂`
+    /// into its next round, so lossy rounds delay gradient mass instead
+    /// of destroying it.
+    ///
+    /// The simulated cluster deposits the *decoded* contribution
+    /// directly: decoding is deterministic, so receiver-side decode of
+    /// the encoded words would produce bit-identical values, and the
+    /// wire length is a pure function of the logical length — byte
+    /// accounting uses the encoded size ([`CommStats::record_send_coded`])
+    /// while the reduce slots stay plain f32, leaving the reduction
+    /// order (and thus bit-determinism across ranks) untouched.
+    ///
+    /// `WireCodec::None` delegates to the uncompressed path verbatim,
+    /// so `--compress none` is bit-identical in trajectory *and*
+    /// accounting.
+    pub fn all_reduce_sum_compressed(
+        &self,
+        buf: &mut [f32],
+        codec: &WireCodec,
+        ef: &mut ErrorFeedback,
+    ) {
+        if codec.is_identity() {
+            return self.all_reduce_sum(buf);
+        }
+        let k = self.size();
+        if k == 1 {
+            // Nothing crosses a wire: stay exact, like the
+            // uncompressed single-rank short circuit.
+            return;
+        }
+        let logical = (buf.len() * 4) as u64;
+        let (xhat, wire_words) = ef.compress(codec, buf);
+        let wire = (wire_words * 4) as u64;
+        {
+            let _s = self.telemetry().scope(Phase::CommSend);
+            *self.shared.reduce[self.rank].lock() = xhat.to_vec();
+            self.shared.stats[self.rank].record_send_coded(wire, logical);
+        }
+        let _w = self.telemetry().scope(Phase::CommWait);
+        self.barrier();
+        // Ascending rank order, exactly like the uncompressed path.
+        buf.iter_mut().for_each(|b| *b = 0.0);
+        for (r, slot) in self.shared.reduce.iter().enumerate() {
+            let other = slot.lock();
+            assert_eq!(other.len(), buf.len(), "all_reduce_sum length mismatch");
+            for (b, o) in buf.iter_mut().zip(other.iter()) {
+                *b += o;
+            }
+            if r != self.rank {
+                self.shared.stats[self.rank].record_recv_coded(wire, logical);
+            }
+        }
+        self.barrier();
+    }
+
+    /// Replaces the logical-sent accounting of one already-recorded
+    /// send whose payload was codec-encoded *before* entering a generic
+    /// collective (which saw only the encoded words). See
+    /// [`CommStats::adjust_logical_sent`].
+    pub fn note_coded_sent(&self, wire_bytes: u64, logical_bytes: u64) {
+        self.shared.stats[self.rank].adjust_logical_sent(wire_bytes, logical_bytes);
+    }
+
+    /// Receive-side counterpart of [`RankCtx::note_coded_sent`].
+    pub fn note_coded_received(&self, wire_bytes: u64, logical_bytes: u64) {
+        self.shared.stats[self.rank].adjust_logical_received(wire_bytes, logical_bytes);
+    }
+
+    /// True when the run's fault plan can silently affect *message*
+    /// delivery (drops, delays, reorders, stalls). Crash-only plans
+    /// report `false`: a crash aborts the epoch collectively and the
+    /// run resumes from a checkpoint, so stateful codecs (delta
+    /// mirrors) stay consistent. The DRPA layer uses this to fall back
+    /// to stateless encoding where a silently lost delta would
+    /// permanently desynchronize sender and receiver mirrors —
+    /// mirroring the async-AlltoAllv fault fallback precedent.
+    pub fn message_faults_armed(&self) -> bool {
+        self.shared.faults.as_ref().is_some_and(|f| {
+            !(f.plan.drops.is_empty()
+                && f.plan.delays.is_empty()
+                && f.plan.reorders.is_empty()
+                && f.plan.stalls.is_empty())
+        })
+    }
+
     /// Variable AlltoAll: sends `outgoing[p]` to rank `p` and returns
     /// the payloads received from every rank (index = source rank; own
     /// slot is `outgoing[self]` passed through).
@@ -710,6 +798,10 @@ impl RankCtx<'_> {
 pub struct AllReduceHandle {
     seq: u64,
     len: usize,
+    /// Encoded words on the wire (== `len` unless a codec compressed
+    /// the contribution); receive accounting at the wait point uses
+    /// this.
+    wire_len: usize,
     posted: Instant,
     /// Single-rank short circuit: the input is already the sum.
     local: Option<Vec<f32>>,
@@ -762,15 +854,54 @@ impl RankCtx<'_> {
         let stats = &self.shared.stats[self.rank];
         stats.record_handle_posted();
         if k == 1 {
-            return AllReduceHandle { seq: 0, len: buf.len(), posted: Instant::now(), local: Some(buf) };
+            let len = buf.len();
+            return AllReduceHandle { seq: 0, len, wire_len: len, posted: Instant::now(), local: Some(buf) };
         }
         let _s = self.telemetry().scope(Phase::CommSend);
         let seq = self.ar_seq.get();
         self.ar_seq.set(seq + 1);
         stats.record_send((buf.len() * 4) as u64);
+        let len = buf.len();
         let handle =
-            AllReduceHandle { seq, len: buf.len(), posted: Instant::now(), local: None };
+            AllReduceHandle { seq, len, wire_len: len, posted: Instant::now(), local: None };
         self.shared.progress.post_reduce(self.rank, self.progress_mode.get(), seq, buf);
+        handle
+    }
+
+    /// [`RankCtx::all_reduce_sum_async`] through a [`WireCodec`] with
+    /// error feedback — the nonblocking counterpart of
+    /// [`RankCtx::all_reduce_sum_compressed`], carrying the per-layer
+    /// residual of the overlapped epoch loop. The decoded contribution
+    /// is posted to the unchanged progress engine (decode is
+    /// deterministic; see the blocking variant for why this is
+    /// observationally identical to shipping encoded words), and the
+    /// handle remembers the encoded length for receive accounting at
+    /// the wait point. `WireCodec::None` delegates verbatim.
+    pub fn all_reduce_sum_compressed_async(
+        &self,
+        buf: Vec<f32>,
+        codec: &WireCodec,
+        ef: &mut ErrorFeedback,
+    ) -> AllReduceHandle {
+        if codec.is_identity() {
+            return self.all_reduce_sum_async(buf);
+        }
+        let k = self.size();
+        let stats = &self.shared.stats[self.rank];
+        stats.record_handle_posted();
+        if k == 1 {
+            let len = buf.len();
+            return AllReduceHandle { seq: 0, len, wire_len: len, posted: Instant::now(), local: Some(buf) };
+        }
+        let _s = self.telemetry().scope(Phase::CommSend);
+        let len = buf.len();
+        let (xhat, wire_words) = ef.compress(codec, &buf);
+        let seq = self.ar_seq.get();
+        self.ar_seq.set(seq + 1);
+        stats.record_send_coded((wire_words * 4) as u64, (len * 4) as u64);
+        let handle =
+            AllReduceHandle { seq, len, wire_len: wire_words, posted: Instant::now(), local: None };
+        self.shared.progress.post_reduce(self.rank, self.progress_mode.get(), seq, xhat.to_vec());
         handle
     }
 
@@ -792,9 +923,10 @@ impl RankCtx<'_> {
         let overlap_ns = wait_start.duration_since(handle.posted).as_nanos() as u64;
         let _w = self.telemetry().scope(Phase::CommWait);
         let out = self.shared.progress.wait_reduce(handle.seq, handle.len);
-        let wire = (handle.len * 4) as u64;
+        let wire = (handle.wire_len * 4) as u64;
+        let logical = (handle.len * 4) as u64;
         for _ in 1..self.size() {
-            stats.record_recv(wire);
+            stats.record_recv_coded(wire, logical);
         }
         stats.record_handle_completed(wait_start.elapsed().as_nanos() as u64, overlap_ns);
         out

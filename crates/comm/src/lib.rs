@@ -29,6 +29,7 @@
 //! bit-identically.
 
 pub mod cluster;
+pub mod codec;
 pub mod faults;
 pub mod netmodel;
 pub mod progress;
@@ -36,6 +37,7 @@ pub mod retry;
 pub mod stats;
 
 pub use cluster::{AllReduceHandle, AllToAllHandle, Cluster, CommError, PendingMsg, RankCtx};
+pub use codec::{ErrorFeedback, WireCodec};
 pub use faults::FaultPlan;
 pub use netmodel::NetworkModel;
 pub use progress::ProgressMode;

@@ -13,6 +13,11 @@ pub struct CommStats {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     messages_sent: AtomicU64,
+    // Pre-codec payload sizes: equal to the wire counters above when
+    // no `WireCodec` is active, larger under a lossy codec. The
+    // logical/wire ratio is the achieved compression factor.
+    logical_bytes_sent: AtomicU64,
+    logical_bytes_received: AtomicU64,
     // Fault-injection accounting (all zero without a FaultPlan).
     messages_dropped: AtomicU64,
     messages_delayed: AtomicU64,
@@ -39,12 +44,41 @@ impl CommStats {
     }
 
     pub fn record_send(&self, bytes: u64) {
-        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
-        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.record_send_coded(bytes, bytes);
     }
 
     pub fn record_recv(&self, bytes: u64) {
-        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+        self.record_recv_coded(bytes, bytes);
+    }
+
+    /// A send whose payload was codec-compressed: `wire` bytes moved,
+    /// `logical` bytes of pre-codec payload represented.
+    pub fn record_send_coded(&self, wire: u64, logical: u64) {
+        self.bytes_sent.fetch_add(wire, Ordering::Relaxed);
+        self.logical_bytes_sent.fetch_add(logical, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A receive of a codec-compressed payload (see
+    /// [`CommStats::record_send_coded`]).
+    pub fn record_recv_coded(&self, wire: u64, logical: u64) {
+        self.bytes_received.fetch_add(wire, Ordering::Relaxed);
+        self.logical_bytes_received.fetch_add(logical, Ordering::Relaxed);
+    }
+
+    /// Corrects the logical-sent counter for a payload compressed
+    /// *before* entering a generic collective (which recorded
+    /// `logical = wire` because it only sees the encoded words):
+    /// replaces the `wire` contribution with `logical`. Wrapping
+    /// arithmetic keeps this exact even when a pathological tiny
+    /// payload encodes *larger* than its logical size.
+    pub fn adjust_logical_sent(&self, wire: u64, logical: u64) {
+        self.logical_bytes_sent.fetch_add(logical.wrapping_sub(wire), Ordering::Relaxed);
+    }
+
+    /// Receive-side counterpart of [`CommStats::adjust_logical_sent`].
+    pub fn adjust_logical_received(&self, wire: u64, logical: u64) {
+        self.logical_bytes_received.fetch_add(logical.wrapping_sub(wire), Ordering::Relaxed);
     }
 
     /// A message of this rank's vanished in flight (drop fault).
@@ -125,6 +159,8 @@ impl CommStats {
             bytes_sent: self.bytes_sent(),
             bytes_received: self.bytes_received(),
             messages_sent: self.messages_sent(),
+            logical_bytes_sent: self.logical_bytes_sent.load(Ordering::Relaxed),
+            logical_bytes_received: self.logical_bytes_received.load(Ordering::Relaxed),
             messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
             messages_delayed: self.messages_delayed.load(Ordering::Relaxed),
             messages_reordered: self.messages_reordered.load(Ordering::Relaxed),
@@ -150,6 +186,11 @@ pub struct CommSnapshot {
     pub bytes_sent: u64,
     pub bytes_received: u64,
     pub messages_sent: u64,
+    /// Pre-codec payload bytes this rank's sends represented; equals
+    /// `bytes_sent` when no codec is active.
+    pub logical_bytes_sent: u64,
+    /// Pre-codec payload bytes this rank's receives represented.
+    pub logical_bytes_received: u64,
     pub messages_dropped: u64,
     pub messages_delayed: u64,
     pub messages_reordered: u64,
@@ -201,6 +242,42 @@ mod tests {
         assert_eq!(s.messages_sent(), 2);
         let snap = s.snapshot();
         assert_eq!(snap.bytes_sent, 150);
+        // Uncompressed traffic: logical == wire.
+        assert_eq!(snap.logical_bytes_sent, 150);
+        assert_eq!(snap.logical_bytes_received, 70);
+    }
+
+    #[test]
+    fn coded_counters_separate_wire_from_logical() {
+        let s = CommStats::new();
+        s.record_send_coded(25, 100);
+        s.record_recv_coded(25, 100);
+        s.record_send(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_sent, 35);
+        assert_eq!(snap.logical_bytes_sent, 110);
+        assert_eq!(snap.bytes_received, 25);
+        assert_eq!(snap.logical_bytes_received, 100);
+        assert_eq!(snap.messages_sent, 2);
+    }
+
+    #[test]
+    fn logical_adjustment_replaces_wire_contribution() {
+        let s = CommStats::new();
+        // A generic collective recorded the encoded payload as-is...
+        s.record_send(40);
+        s.record_recv(40);
+        // ...then the codec layer reports the pre-codec size.
+        s.adjust_logical_sent(40, 160);
+        s.adjust_logical_received(40, 160);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_sent, 40);
+        assert_eq!(snap.logical_bytes_sent, 160);
+        assert_eq!(snap.logical_bytes_received, 160);
+        // Wrapping math stays exact when the encoding expanded.
+        s.record_send(8);
+        s.adjust_logical_sent(8, 4);
+        assert_eq!(s.snapshot().logical_bytes_sent, 164);
     }
 
     #[test]

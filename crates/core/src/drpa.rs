@@ -29,7 +29,7 @@
 
 use crate::dist::{DistMode, WirePrecision};
 use crate::model::Aggregator;
-use distgnn_comm::{CommError, RankCtx, RetryPolicy};
+use distgnn_comm::{CommError, RankCtx, RetryPolicy, WireCodec};
 use distgnn_io::{DrpaState, RouteCacheState};
 use distgnn_kernels::gcn::gcn_normalize;
 use distgnn_kernels::{AggregationConfig, BinaryOp, PreparedAggregation, ReduceOp};
@@ -109,6 +109,22 @@ impl RouteCache {
         self.bin_refresh[bin] = Some(epoch);
     }
 
+    /// Accumulates one bin's *delta* rows (delta-codec path: the cache
+    /// holds the running sum of decoded deltas, which is the
+    /// reconstructed absolute value) and stamps its refresh epoch.
+    fn add_bin(&mut self, idx: &[u32], delta: &[f32], d: usize, bin: usize, epoch: u64) {
+        assert_eq!(delta.len(), idx.len() * d, "cache payload size mismatch");
+        for (j, &i) in idx.iter().enumerate() {
+            let i = i as usize;
+            let row = &mut self.data[i * d..(i + 1) * d];
+            for (x, dv) in row.iter_mut().zip(&delta[j * d..(j + 1) * d]) {
+                *x += dv;
+            }
+            self.valid[i] = true;
+        }
+        self.bin_refresh[bin] = Some(epoch);
+    }
+
     /// Calls `f(age)` for every bin that has ever refreshed, where
     /// `age` is how old (in epochs) its cached content is at `epoch`:
     /// content consumed at epoch `c` was generated at `c - r`.
@@ -137,6 +153,64 @@ struct CdrState {
     leaf: Vec<Vec<RouteCache>>,
 }
 
+/// Delta-compression state for the clone-sync payloads: the
+/// ISSUE-7 "delta encoded against the receiver's cached partials"
+/// scheme. Per `(phase, layer, peer)` route the sender keeps an exact
+/// mirror of what the receiver has accumulated from its decoded deltas
+/// so far; each epoch ships `enc(current − mirror)` and advances the
+/// mirror by the *decoded* delta, so sender and receiver stay in exact
+/// f32 sync and the un-shipped part of a lossy delta automatically
+/// reappears in the next epoch's delta (the halo analogue of error
+/// feedback — self-correcting, no drift).
+///
+/// `recv` holds the receiver-side accumulators for the cd-0 phases,
+/// which have no persistent cache of their own; cd-r receives
+/// accumulate directly into the existing [`RouteCache`] data.
+#[derive(Clone, Debug, Default)]
+struct CodecState {
+    /// `[phase][layer][peer]` sender-side mirrors of receiver state.
+    sent: Vec<Vec<Vec<Vec<f32>>>>,
+    /// `[phase][layer][peer]` receiver-side accumulated payloads.
+    recv: Vec<Vec<Vec<Vec<f32>>>>,
+}
+
+impl CodecState {
+    fn slot(
+        store: &mut Vec<Vec<Vec<Vec<f32>>>>,
+        phase: usize,
+        layer: usize,
+        peer: usize,
+        len: usize,
+    ) -> &mut Vec<f32> {
+        while store.len() <= phase {
+            store.push(Vec::new());
+        }
+        let layers = &mut store[phase];
+        while layers.len() <= layer {
+            layers.push(Vec::new());
+        }
+        let peers = &mut layers[layer];
+        while peers.len() <= peer {
+            peers.push(Vec::new());
+        }
+        let v = &mut peers[peer];
+        if v.len() != len {
+            // First use at this shape: both ends start from zero.
+            v.clear();
+            v.resize(len, 0.0);
+        }
+        v
+    }
+
+    fn sent_slot(&mut self, phase: u64, layer: usize, peer: usize, len: usize) -> &mut Vec<f32> {
+        Self::slot(&mut self.sent, phase as usize, layer, peer, len)
+    }
+
+    fn recv_slot(&mut self, phase: u64, layer: usize, peer: usize, len: usize) -> &mut Vec<f32> {
+        Self::slot(&mut self.recv, phase as usize, layer, peer, len)
+    }
+}
+
 /// Immutable routing context shared by both sync directions.
 struct SyncTopo<'t> {
     routes_out: &'t [Route],
@@ -161,6 +235,8 @@ pub struct RankAggregator<'a, 'b> {
     binned_in: Vec<BinnedRoute>,
     fwd_state: CdrState,
     precision: WirePrecision,
+    codec: WireCodec,
+    codec_state: CodecState,
     retry: RetryPolicy,
     overlap: bool,
     epoch: u64,
@@ -207,6 +283,8 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
             binned_in,
             fwd_state: CdrState::default(),
             precision: WirePrecision::Fp32,
+            codec: WireCodec::None,
+            codec_state: CodecState::default(),
             retry: RetryPolicy::standard(),
             overlap: false,
             epoch: 0,
@@ -221,6 +299,19 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
     /// BF16/FP16 future-work extension).
     pub fn with_wire_precision(mut self, precision: WirePrecision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Selects a [`WireCodec`] for the clone-sync payloads. A non-
+    /// identity codec supersedes [`RankAggregator::with_wire_precision`]
+    /// and switches the exchanges to *delta encoding* against mirrored
+    /// receiver state (see [`CodecState`]). Under a fault plan with
+    /// message-level faults, cd-r bin refreshes fall back to the
+    /// uncompressed wire: a silently dropped delta would permanently
+    /// desynchronize the mirrors (the cd-0 collectives deliver-or-abort,
+    /// so they keep the codec even under faults).
+    pub fn with_codec(mut self, codec: WireCodec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -264,6 +355,8 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
         DrpaState {
             root: convert(&self.fwd_state.root),
             leaf: convert(&self.fwd_state.leaf),
+            codec_sent: self.codec_state.sent.clone(),
+            codec_recv: self.codec_state.recv.clone(),
         }
     }
 
@@ -289,6 +382,10 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
         self.fwd_state = CdrState {
             root: convert(&state.root),
             leaf: convert(&state.leaf),
+        };
+        self.codec_state = CodecState {
+            sent: state.codec_sent.clone(),
+            recv: state.codec_recv.clone(),
         };
     }
 
@@ -351,34 +448,62 @@ impl<'a, 'b> RankAggregator<'a, 'b> {
         let backward = phases == BWD_PHASES;
         match self.mode {
             DistMode::Oc => {}
-            DistMode::Cd0 => {
-                self.error =
+            DistMode::Cd0 | DistMode::CdR { delay: 0 } => {
+                self.error = if self.codec.is_identity() {
                     sync_blocking(self.ctx, &self.topo(), m, self.precision, &self.retry, self.overlap)
-                        .err();
-            }
-            DistMode::CdR { delay } => {
-                if delay == 0 {
-                    self.error =
-                        sync_blocking(self.ctx, &self.topo(), m, self.precision, &self.retry, self.overlap)
-                            .err();
-                } else if !backward {
+                        .err()
+                } else {
                     let topo = SyncTopo {
                         routes_out: &self.routes_out,
                         routes_in: &self.routes_in,
                         binned_out: &self.binned_out,
                         binned_in: &self.binned_in,
                     };
-                    let state = &mut self.fwd_state;
+                    sync_blocking_delta(
+                        self.ctx,
+                        &topo,
+                        &mut self.codec_state,
+                        m,
+                        layer,
+                        phases,
+                        &self.codec,
+                        &self.retry,
+                        self.overlap,
+                    )
+                    .err()
+                };
+            }
+            DistMode::CdR { delay } => {
+                if !backward {
+                    let topo = SyncTopo {
+                        routes_out: &self.routes_out,
+                        routes_in: &self.routes_in,
+                        binned_out: &self.binned_out,
+                        binned_in: &self.binned_in,
+                    };
+                    // A silently dropped/held tagged delta would
+                    // permanently desynchronize the mirrors, so
+                    // message-level fault plans disable the codec for
+                    // the bin refreshes (crash-only plans keep it:
+                    // crashes abort collectively and resume from a
+                    // checkpoint that carries the mirrors).
+                    let codec = if self.ctx.message_faults_armed() {
+                        WireCodec::None
+                    } else {
+                        self.codec
+                    };
                     sync_delayed(
                         self.ctx,
                         &topo,
-                        state,
+                        &mut self.fwd_state,
+                        &mut self.codec_state,
                         m,
                         layer,
                         self.epoch,
                         delay,
                         phases,
                         self.precision,
+                        &codec,
                     );
                 }
             }
@@ -489,6 +614,139 @@ fn sync_blocking(
     Ok(())
 }
 
+/// Delta-compressed cd-0 sync: ships `enc(current − mirror)` per
+/// route and phase instead of absolute rows. Sender mirrors and
+/// receiver accumulators advance by the same decoded delta in the same
+/// order, so they stay bit-identical forever and the lossy remainder
+/// of each delta reappears in the next epoch's delta (self-correcting;
+/// see [`CodecState`]). The collectives deliver-or-abort even under
+/// fault plans, so no silent delta loss can desynchronize the mirrors;
+/// an aborted epoch is abandoned wholesale and resumes from a
+/// checkpoint that carries the mirrors.
+#[allow(clippy::too_many_arguments)]
+fn sync_blocking_delta(
+    ctx: &RankCtx<'_>,
+    topo: &SyncTopo<'_>,
+    state: &mut CodecState,
+    m: &mut Matrix,
+    layer: usize,
+    phases: (u64, u64),
+    codec: &WireCodec,
+    retry: &RetryPolicy,
+    overlap: bool,
+) -> Result<(), CommError> {
+    let exchange = |outgoing: Vec<Vec<f32>>| -> Result<Vec<Vec<f32>>, CommError> {
+        if overlap {
+            let handle = ctx.all_to_all_v_async(outgoing, retry);
+            ctx.all_to_all_v_wait(handle)
+        } else {
+            ctx.all_to_all_v_retry(outgoing, retry)
+        }
+    };
+    let k = ctx.size();
+    let me = ctx.rank();
+    let d = m.cols();
+    // Phase 1: leaves -> roots (partial sums, delta-encoded).
+    let outgoing: Vec<Vec<f32>> = (0..k)
+        .map(|p| {
+            let rows = gather_rows(m, &topo.routes_out[p].leaf_locals, d);
+            let mirror = state.sent_slot(phases.0, layer, p, rows.len());
+            let wire = delta_encode(codec, &rows, mirror);
+            if p != me {
+                ctx.note_coded_sent((wire.len() * 4) as u64, (rows.len() * 4) as u64);
+            }
+            wire
+        })
+        .collect();
+    let incoming = exchange(outgoing)?;
+    for (q, payload) in incoming.iter().enumerate() {
+        let len = topo.routes_in[q].root_locals.len() * d;
+        let acc = state.recv_slot(phases.0, layer, q, len);
+        delta_apply(codec, payload, acc);
+        if q != me {
+            ctx.note_coded_received((payload.len() * 4) as u64, (len * 4) as u64);
+        }
+        scatter_reduce(m, &topo.routes_in[q].root_locals, acc, d);
+    }
+    // Phase 2: roots -> leaves (totals, delta-encoded).
+    let outgoing: Vec<Vec<f32>> = (0..k)
+        .map(|q| {
+            let rows = gather_rows(m, &topo.routes_in[q].root_locals, d);
+            let mirror = state.sent_slot(phases.1, layer, q, rows.len());
+            let wire = delta_encode(codec, &rows, mirror);
+            if q != me {
+                ctx.note_coded_sent((wire.len() * 4) as u64, (rows.len() * 4) as u64);
+            }
+            wire
+        })
+        .collect();
+    let incoming = exchange(outgoing)?;
+    for (p, payload) in incoming.iter().enumerate() {
+        let len = topo.routes_out[p].leaf_locals.len() * d;
+        let acc = state.recv_slot(phases.1, layer, p, len);
+        delta_apply(codec, payload, acc);
+        if p != me {
+            ctx.note_coded_received((payload.len() * 4) as u64, (len * 4) as u64);
+        }
+        scatter_overwrite(m, &topo.routes_out[p].leaf_locals, acc, d);
+    }
+    Ok(())
+}
+
+/// Sender half of the delta scheme: returns `enc(current − mirror)`
+/// and advances the mirror by the *decoded* delta — exactly what the
+/// receiver will accumulate, so both ends stay in bit-exact f32 sync.
+fn delta_encode(codec: &WireCodec, current: &[f32], mirror: &mut [f32]) -> Vec<f32> {
+    debug_assert_eq!(current.len(), mirror.len());
+    let mut delta: Vec<f32> =
+        current.iter().zip(mirror.iter()).map(|(c, m)| c - m).collect();
+    let wire = codec.encode(&delta);
+    // Reuse the delta buffer for the decoded delta.
+    codec.decode_into(&wire, &mut delta);
+    for (m, d) in mirror.iter_mut().zip(&delta) {
+        *m += d;
+    }
+    wire
+}
+
+/// Receiver half: decodes a delta payload and accumulates it into
+/// `acc`, which then holds the absolute (reconstructed) rows.
+fn delta_apply(codec: &WireCodec, wire: &[f32], acc: &mut [f32]) {
+    let decoded = codec.decode(wire, acc.len());
+    for (a, d) in acc.iter_mut().zip(&decoded) {
+        *a += d;
+    }
+}
+
+/// [`delta_encode`] restricted to the bin rows `idx` of a full-route
+/// mirror: `current` holds the bin rows in bin order, `mirror` the
+/// whole route.
+fn delta_encode_rows(
+    codec: &WireCodec,
+    current: &[f32],
+    idx: &[u32],
+    mirror: &mut [f32],
+    d: usize,
+) -> Vec<f32> {
+    debug_assert_eq!(current.len(), idx.len() * d);
+    let mut delta = vec![0.0f32; current.len()];
+    for (j, &i) in idx.iter().enumerate() {
+        let m = &mirror[i as usize * d..(i as usize + 1) * d];
+        for (c, (x, mi)) in current[j * d..(j + 1) * d].iter().zip(m).enumerate() {
+            delta[j * d + c] = x - mi;
+        }
+    }
+    let wire = codec.encode(&delta);
+    codec.decode_into(&wire, &mut delta);
+    for (j, &i) in idx.iter().enumerate() {
+        let m = &mut mirror[i as usize * d..(i as usize + 1) * d];
+        for (mi, dv) in m.iter_mut().zip(&delta[j * d..(j + 1) * d]) {
+            *mi += dv;
+        }
+    }
+    wire
+}
+
 /// Packs a payload into the configured wire format.
 fn encode(prec: WirePrecision, data: Vec<f32>) -> Vec<f32> {
     use distgnn_tensor::half::{f32_to_bf16, f32_to_f16, pack_half};
@@ -517,12 +775,14 @@ fn sync_delayed(
     ctx: &RankCtx<'_>,
     topo: &SyncTopo<'_>,
     state: &mut CdrState,
+    cstate: &mut CodecState,
     m: &mut Matrix,
     layer: usize,
     epoch: u64,
     delay: usize,
     phases: (u64, u64),
     prec: WirePrecision,
+    codec: &WireCodec,
 ) {
     let k = ctx.size();
     let me = ctx.rank();
@@ -531,7 +791,8 @@ fn sync_delayed(
     ensure_caches(state, topo, layer, d, k, delay);
 
     // Lines 10–11: gather + async-send this bin's leaf partials
-    // (local values, before any cache is applied).
+    // (local values, before any cache is applied). With a codec the
+    // payload is the bin's delta against the mirrored receiver cache.
     for p in 0..k {
         if p == me {
             continue;
@@ -541,7 +802,17 @@ fn sync_delayed(
             continue;
         }
         let locals = select(&topo.routes_out[p].leaf_locals, idx);
-        let payload = encode(prec, gather_rows(m, &locals, d));
+        let rows = gather_rows(m, &locals, d);
+        let payload = if codec.is_identity() {
+            encode(prec, rows)
+        } else {
+            let logical = rows.len();
+            let mirror =
+                cstate.sent_slot(phases.0, layer, p, topo.routes_out[p].len() * d);
+            let wire = delta_encode_rows(codec, &rows, idx, mirror, d);
+            ctx.note_coded_sent((wire.len() * 4) as u64, (logical * 4) as u64);
+            wire
+        };
         ctx.send_tagged(p, tag(phases.0, layer, epoch), payload);
     }
 
@@ -562,8 +833,17 @@ fn sync_delayed(
             // cached partial in place — the staleness counter below is
             // what makes the miss observable.
             if let Some(payload) = ctx.try_recv_tagged(q, tag(phases.0, layer, e_src)) {
-                let payload = decode(prec, &payload, idx.len() * d);
-                state.root[layer][q].store_bin(idx, &payload, d, b, epoch);
+                if codec.is_identity() {
+                    let payload = decode(prec, &payload, idx.len() * d);
+                    state.root[layer][q].store_bin(idx, &payload, d, b, epoch);
+                } else {
+                    let delta = codec.decode(&payload, idx.len() * d);
+                    ctx.note_coded_received(
+                        (payload.len() * 4) as u64,
+                        (delta.len() * 4) as u64,
+                    );
+                    state.root[layer][q].add_bin(idx, &delta, d, b, epoch);
+                }
             }
         }
     }
@@ -587,7 +867,17 @@ fn sync_delayed(
                 continue;
             }
             let locals = select(&topo.routes_in[q].root_locals, idx);
-            let back = encode(prec, gather_rows(m, &locals, d));
+            let rows = gather_rows(m, &locals, d);
+            let back = if codec.is_identity() {
+                encode(prec, rows)
+            } else {
+                let logical = rows.len();
+                let mirror =
+                    cstate.sent_slot(phases.1, layer, q, topo.routes_in[q].len() * d);
+                let wire = delta_encode_rows(codec, &rows, idx, mirror, d);
+                ctx.note_coded_sent((wire.len() * 4) as u64, (logical * 4) as u64);
+                wire
+            };
             ctx.send_tagged(q, tag(phases.1, layer, epoch), back);
         }
     }
@@ -605,8 +895,17 @@ fn sync_delayed(
                 continue;
             }
             if let Some(payload) = ctx.try_recv_tagged(p, tag(phases.1, layer, e_src)) {
-                let payload = decode(prec, &payload, idx.len() * d);
-                state.leaf[layer][p].store_bin(idx, &payload, d, b, epoch);
+                if codec.is_identity() {
+                    let payload = decode(prec, &payload, idx.len() * d);
+                    state.leaf[layer][p].store_bin(idx, &payload, d, b, epoch);
+                } else {
+                    let delta = codec.decode(&payload, idx.len() * d);
+                    ctx.note_coded_received(
+                        (payload.len() * 4) as u64,
+                        (delta.len() * 4) as u64,
+                    );
+                    state.leaf[layer][p].add_bin(idx, &delta, d, b, epoch);
+                }
             }
         }
     }

@@ -183,6 +183,7 @@ mod tests {
             adam: AdamState::default(),
             drpa: DrpaState::default(),
             outbox: Vec::new(),
+            residuals: Vec::new(),
         }
     }
 

@@ -30,11 +30,47 @@ use crate::atomic::{atomic_write, crc32};
 use crate::matrix::{load_matrix, save_matrix};
 use crate::{corrupt_err, format_err, IoError};
 use distgnn_nn::AdamState;
+use distgnn_tensor::half::{bf16_to_f32, f32_to_bf16};
 use distgnn_tensor::Matrix;
 use std::path::{Path, PathBuf};
 
 /// Current checkpoint format version; loaders reject anything else.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added the `residual` section (error-feedback state), the
+/// DRPA codec mirrors, and the header's encoding-mode flag.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// How the weight-bearing sections (`params`, `adam` moments) are
+/// encoded on disk. The mode is stamped into the header, so a loader
+/// always knows how to read the file back — but only
+/// [`CheckpointMode::Lossless`] guarantees bit-exact resume; the bf16
+/// mode halves those sections at a bounded relative rounding error
+/// (|x − x̂| ≤ 2⁻⁸·|x|) and is strictly opt-in. Structural sections
+/// (DRPA caches, outbox, residuals) are always lossless: they are
+/// small, and corrupting comm state buys nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckpointMode {
+    #[default]
+    Lossless,
+    /// Parameters and Adam moments stored as bf16 (2 bytes/value).
+    LossyBf16,
+}
+
+impl CheckpointMode {
+    fn flag(self) -> u32 {
+        match self {
+            CheckpointMode::Lossless => 0,
+            CheckpointMode::LossyBf16 => 1,
+        }
+    }
+
+    fn from_flag(flag: u32) -> Result<Self, IoError> {
+        match flag {
+            0 => Ok(CheckpointMode::Lossless),
+            1 => Ok(CheckpointMode::LossyBf16),
+            other => format_err(format!("unknown checkpoint mode flag {other}")),
+        }
+    }
+}
 
 const STATE_MAGIC: &[u8; 8] = b"DGNNCKPT";
 const MANIFEST_NAME: &str = "MANIFEST";
@@ -57,6 +93,12 @@ pub struct RouteCacheState {
 pub struct DrpaState {
     pub root: Vec<Vec<RouteCacheState>>,
     pub leaf: Vec<Vec<RouteCacheState>>,
+    /// Delta-codec sender mirrors, `[phase][layer][peer]` — the
+    /// accumulated decoded deltas already shipped to each peer. Empty
+    /// unless a lossy wire codec is active.
+    pub codec_sent: Vec<Vec<Vec<Vec<f32>>>>,
+    /// Delta-codec receiver accumulators, same shape as `codec_sent`.
+    pub codec_recv: Vec<Vec<Vec<Vec<f32>>>>,
 }
 
 /// One in-flight tagged message, with its visibility delay re-based to
@@ -80,6 +122,12 @@ pub struct TrainState {
     pub adam: AdamState,
     pub drpa: DrpaState,
     pub outbox: Vec<PendingWire>,
+    /// Error-feedback residuals, one buffer per compressed gradient
+    /// stream (the flat gradient for blocking runs, one per layer for
+    /// overlapped runs). Empty when no lossy codec is active. Resuming
+    /// without these would silently drop the compression error carried
+    /// forward from the checkpoint epoch, forking the trajectory.
+    pub residuals: Vec<Vec<f32>>,
 }
 
 // ---------------------------------------------------------------------
@@ -139,6 +187,14 @@ impl<'a> Reader<'a> {
             .collect())
     }
 
+    fn bf16s(&mut self, n: usize) -> Result<Vec<f32>, IoError> {
+        let bytes = self.take(n * 2)?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|c| bf16_to_f32(u16::from_le_bytes([c[0], c[1]])))
+            .collect())
+    }
+
     fn bools(&mut self, n: usize) -> Result<Vec<bool>, IoError> {
         self.take(n)?
             .iter()
@@ -169,24 +225,51 @@ fn put_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
     }
 }
 
+fn put_bf16s(buf: &mut Vec<u8>, xs: &[f32]) {
+    buf.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+    for &x in xs {
+        buf.extend_from_slice(&f32_to_bf16(x).to_le_bytes());
+    }
+}
+
+/// `put_f32s` or `put_bf16s` per the checkpoint mode.
+fn put_weights(buf: &mut Vec<u8>, xs: &[f32], mode: CheckpointMode) {
+    match mode {
+        CheckpointMode::Lossless => put_f32s(buf, xs),
+        CheckpointMode::LossyBf16 => put_bf16s(buf, xs),
+    }
+}
+
+fn read_weights(r: &mut Reader, mode: CheckpointMode) -> Result<Vec<f32>, IoError> {
+    match mode {
+        CheckpointMode::Lossless => {
+            let n = r.len(4)?;
+            r.f32s(n)
+        }
+        CheckpointMode::LossyBf16 => {
+            let n = r.len(2)?;
+            r.bf16s(n)
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Section payloads.
 
-fn encode_params(params: &[f32]) -> Vec<u8> {
+fn encode_params(params: &[f32], mode: CheckpointMode) -> Vec<u8> {
     let mut buf = Vec::with_capacity(8 + params.len() * 4);
-    put_f32s(&mut buf, params);
+    put_weights(&mut buf, params, mode);
     buf
 }
 
-fn decode_params(bytes: &[u8]) -> Result<Vec<f32>, IoError> {
+fn decode_params(bytes: &[u8], mode: CheckpointMode) -> Result<Vec<f32>, IoError> {
     let mut r = Reader::new(bytes, "params section");
-    let n = r.len(4)?;
-    let params = r.f32s(n)?;
+    let params = read_weights(&mut r, mode)?;
     r.done()?;
     Ok(params)
 }
 
-fn encode_adam(adam: &AdamState) -> Vec<u8> {
+fn encode_adam(adam: &AdamState, mode: CheckpointMode) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&adam.t.to_le_bytes());
     buf.extend_from_slice(&(adam.slots.len() as u64).to_le_bytes());
@@ -195,15 +278,15 @@ fn encode_adam(adam: &AdamState) -> Vec<u8> {
             None => buf.push(0),
             Some((m, v)) => {
                 buf.push(1);
-                put_f32s(&mut buf, m);
-                put_f32s(&mut buf, v);
+                put_weights(&mut buf, m, mode);
+                put_weights(&mut buf, v, mode);
             }
         }
     }
     buf
 }
 
-fn decode_adam(bytes: &[u8]) -> Result<AdamState, IoError> {
+fn decode_adam(bytes: &[u8], mode: CheckpointMode) -> Result<AdamState, IoError> {
     let mut r = Reader::new(bytes, "adam section");
     let t = r.u64()?;
     let nslots = r.len(1)?;
@@ -213,13 +296,12 @@ fn decode_adam(bytes: &[u8]) -> Result<AdamState, IoError> {
         slots.push(match present {
             0 => None,
             1 => {
-                let nm = r.len(4)?;
-                let m = r.f32s(nm)?;
-                let nv = r.len(4)?;
-                if nv != nm {
+                let m = read_weights(&mut r, mode)?;
+                let v = read_weights(&mut r, mode)?;
+                if v.len() != m.len() {
                     return corrupt_err("adam section: m/v moment lengths differ");
                 }
-                Some((m, r.f32s(nv)?))
+                Some((m, v))
             }
             other => return corrupt_err(format!("adam section: invalid slot flag {other}")),
         });
@@ -279,10 +361,45 @@ fn decode_route_caches(r: &mut Reader) -> Result<Vec<Vec<RouteCacheState>>, IoEr
     Ok(out)
 }
 
+fn encode_codec_mirrors(buf: &mut Vec<u8>, mirrors: &[Vec<Vec<Vec<f32>>>]) {
+    buf.extend_from_slice(&(mirrors.len() as u64).to_le_bytes());
+    for phase in mirrors {
+        buf.extend_from_slice(&(phase.len() as u64).to_le_bytes());
+        for layer in phase {
+            buf.extend_from_slice(&(layer.len() as u64).to_le_bytes());
+            for peer in layer {
+                put_f32s(buf, peer);
+            }
+        }
+    }
+}
+
+fn decode_codec_mirrors(r: &mut Reader) -> Result<Vec<Vec<Vec<Vec<f32>>>>, IoError> {
+    let nphases = r.len(8)?;
+    let mut out = Vec::with_capacity(nphases);
+    for _ in 0..nphases {
+        let nlayers = r.len(8)?;
+        let mut phase = Vec::with_capacity(nlayers);
+        for _ in 0..nlayers {
+            let npeers = r.len(8)?;
+            let mut layer = Vec::with_capacity(npeers);
+            for _ in 0..npeers {
+                let n = r.len(4)?;
+                layer.push(r.f32s(n)?);
+            }
+            phase.push(layer);
+        }
+        out.push(phase);
+    }
+    Ok(out)
+}
+
 fn encode_drpa(drpa: &DrpaState) -> Vec<u8> {
     let mut buf = Vec::new();
     encode_route_caches(&mut buf, &drpa.root);
     encode_route_caches(&mut buf, &drpa.leaf);
+    encode_codec_mirrors(&mut buf, &drpa.codec_sent);
+    encode_codec_mirrors(&mut buf, &drpa.codec_recv);
     buf
 }
 
@@ -290,8 +407,10 @@ fn decode_drpa(bytes: &[u8]) -> Result<DrpaState, IoError> {
     let mut r = Reader::new(bytes, "drpa section");
     let root = decode_route_caches(&mut r)?;
     let leaf = decode_route_caches(&mut r)?;
+    let codec_sent = decode_codec_mirrors(&mut r)?;
+    let codec_recv = decode_codec_mirrors(&mut r)?;
     r.done()?;
-    Ok(DrpaState { root, leaf })
+    Ok(DrpaState { root, leaf, codec_sent, codec_recv })
 }
 
 fn encode_outbox(outbox: &[PendingWire]) -> Vec<u8> {
@@ -321,8 +440,29 @@ fn decode_outbox(bytes: &[u8]) -> Result<Vec<PendingWire>, IoError> {
     Ok(out)
 }
 
-const SECTION_NAMES: [&[u8; 8]; 4] =
-    [b"params\0\0", b"adam\0\0\0\0", b"drpa\0\0\0\0", b"outbox\0\0"];
+fn encode_residuals(residuals: &[Vec<f32>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(residuals.len() as u64).to_le_bytes());
+    for r in residuals {
+        put_f32s(&mut buf, r);
+    }
+    buf
+}
+
+fn decode_residuals(bytes: &[u8]) -> Result<Vec<Vec<f32>>, IoError> {
+    let mut r = Reader::new(bytes, "residual section");
+    let n = r.len(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.len(4)?;
+        out.push(r.f32s(len)?);
+    }
+    r.done()?;
+    Ok(out)
+}
+
+const SECTION_NAMES: [&[u8; 8]; 5] =
+    [b"params\0\0", b"adam\0\0\0\0", b"drpa\0\0\0\0", b"outbox\0\0", b"residual"];
 
 fn section_name(i: usize) -> String {
     String::from_utf8_lossy(SECTION_NAMES[i])
@@ -340,6 +480,15 @@ pub fn save_train_state(path: &Path, state: &TrainState) -> Result<(), IoError> 
     atomic_write(path, &encode_train_state(state))
 }
 
+/// [`save_train_state`] with an explicit [`CheckpointMode`].
+pub fn save_train_state_mode(
+    path: &Path,
+    state: &TrainState,
+    mode: CheckpointMode,
+) -> Result<(), IoError> {
+    atomic_write(path, &encode_train_state_mode(state, mode))
+}
+
 /// Serializes one rank's state to the checkpoint wire format without
 /// touching the filesystem. The async checkpoint writer encodes on the
 /// rank thread (cheap, deterministic) and ships the bytes to a
@@ -347,15 +496,23 @@ pub fn save_train_state(path: &Path, state: &TrainState) -> Result<(), IoError> 
 /// path); `encode` + [`atomic_write`] is byte-identical to
 /// [`save_train_state`].
 pub fn encode_train_state(state: &TrainState) -> Vec<u8> {
+    encode_train_state_mode(state, CheckpointMode::Lossless)
+}
+
+/// [`encode_train_state`] with an explicit [`CheckpointMode`]; the mode
+/// is stamped into the header so loaders decode symmetrically.
+pub fn encode_train_state_mode(state: &TrainState, mode: CheckpointMode) -> Vec<u8> {
     let sections = [
-        encode_params(&state.params),
-        encode_adam(&state.adam),
+        encode_params(&state.params, mode),
+        encode_adam(&state.adam, mode),
         encode_drpa(&state.drpa),
         encode_outbox(&state.outbox),
+        encode_residuals(&state.residuals),
     ];
     let mut buf = Vec::new();
     buf.extend_from_slice(STATE_MAGIC);
     buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&mode.flag().to_le_bytes());
     buf.extend_from_slice(&state.epoch.to_le_bytes());
     buf.extend_from_slice(&state.rank.to_le_bytes());
     buf.extend_from_slice(&state.ranks.to_le_bytes());
@@ -393,6 +550,7 @@ pub fn load_train_state(path: &Path) -> Result<TrainState, IoError> {
             "unsupported checkpoint version {version} (supported: {CHECKPOINT_VERSION})"
         ));
     }
+    let mode = CheckpointMode::from_flag(r.u32()?)?;
     let epoch = r.u64()?;
     let rank = r.u32()?;
     let ranks = r.u32()?;
@@ -441,10 +599,11 @@ pub fn load_train_state(path: &Path) -> Result<TrainState, IoError> {
         epoch,
         rank,
         ranks,
-        params: decode_params(payloads[0])?,
-        adam: decode_adam(payloads[1])?,
+        params: decode_params(payloads[0], mode)?,
+        adam: decode_adam(payloads[1], mode)?,
         drpa: decode_drpa(payloads[2])?,
         outbox: decode_outbox(payloads[3])?,
+        residuals: decode_residuals(payloads[4])?,
     })
 }
 
@@ -616,6 +775,8 @@ mod tests {
                     bin_refresh: vec![Some(5), None, Some(0)],
                 }]],
                 leaf: vec![vec![RouteCacheState::default()]],
+                codec_sent: vec![vec![vec![vec![0.5, -2.0], vec![]]]],
+                codec_recv: vec![vec![vec![vec![1.0], vec![7.5, 0.0, -0.25]]]],
             },
             outbox: vec![PendingWire {
                 dst: 1,
@@ -623,6 +784,7 @@ mod tests {
                 remaining_delay: 2,
                 payload: vec![9.0, -9.0],
             }],
+            residuals: vec![vec![0.125, -4.5e-3], vec![], vec![1.0e9]],
         }
     }
 
@@ -645,6 +807,45 @@ mod tests {
     }
 
     #[test]
+    fn lossy_mode_bounds_weight_error_and_shrinks_the_file() {
+        let state = sample_state(0);
+        let p_exact = temp_path("state-exact");
+        let p_lossy = temp_path("state-lossy");
+        save_train_state(&p_exact, &state).unwrap();
+        save_train_state_mode(&p_lossy, &state, CheckpointMode::LossyBf16).unwrap();
+        let exact_len = std::fs::metadata(&p_exact).unwrap().len();
+        let lossy_len = std::fs::metadata(&p_lossy).unwrap().len();
+        assert!(lossy_len < exact_len, "bf16 mode must shrink: {lossy_len} vs {exact_len}");
+        let loaded = load_train_state(&p_lossy).unwrap();
+        // Weights round through bf16: bounded relative error, not exact.
+        assert_eq!(loaded.params.len(), state.params.len());
+        for (a, b) in loaded.params.iter().zip(&state.params) {
+            assert!((a - b).abs() <= b.abs() * (1.0 / 256.0) + f32::MIN_POSITIVE);
+        }
+        // Structural sections stay bit-exact even in lossy mode.
+        assert_eq!(loaded.drpa, state.drpa);
+        assert_eq!(loaded.outbox, state.outbox);
+        assert_eq!(loaded.residuals, state.residuals);
+        assert_eq!(loaded.adam.t, state.adam.t);
+        std::fs::remove_file(&p_exact).ok();
+        std::fs::remove_file(&p_lossy).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_mode_flag() {
+        let p = temp_path("state-mode");
+        save_train_state(&p, &sample_state(0)).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[12] = 7; // low byte of the little-endian mode flag
+        std::fs::write(&p, &bytes).unwrap();
+        match load_train_state(&p) {
+            Err(IoError::Format(m)) => assert!(m.contains("mode"), "got `{m}`"),
+            other => panic!("expected a mode Format error, got {other:?}"),
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
     fn rejects_version_mismatch() {
         let p = temp_path("state-version");
         save_train_state(&p, &sample_state(0)).unwrap();
@@ -663,11 +864,11 @@ mod tests {
         let p = temp_path("state-flip");
         save_train_state(&p, &sample_state(0)).unwrap();
         let mut bytes = std::fs::read(&p).unwrap();
-        let idx = bytes.len() - 5; // inside the outbox payload
+        let idx = bytes.len() - 5; // inside the residual payload
         bytes[idx] ^= 0x80;
         std::fs::write(&p, &bytes).unwrap();
         match load_train_state(&p) {
-            Err(IoError::Corrupt(m)) => assert!(m.contains("outbox"), "got `{m}`"),
+            Err(IoError::Corrupt(m)) => assert!(m.contains("residual"), "got `{m}`"),
             other => panic!("expected Corrupt, got {other:?}"),
         }
         std::fs::remove_file(&p).ok();

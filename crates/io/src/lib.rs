@@ -35,9 +35,10 @@ pub mod partition;
 pub use async_writer::{AsyncCheckpointWriter, CheckpointWriterReport};
 pub use atomic::{atomic_write, crc32};
 pub use checkpoint::{
-    encode_train_state, latest_checkpoint, list_checkpoints, load_cluster_state, load_params,
-    load_train_state, save_cluster_manifest, save_params, save_train_state, DrpaState,
-    PendingWire, RouteCacheState, TrainState,
+    encode_train_state, encode_train_state_mode, latest_checkpoint, list_checkpoints,
+    load_cluster_state, load_params, load_train_state, save_cluster_manifest, save_params,
+    save_train_state, save_train_state_mode, CheckpointMode, DrpaState, PendingWire,
+    RouteCacheState, TrainState,
 };
 pub use dataset::{load_dataset, save_dataset};
 pub use edgelist::{load_edge_list, save_edge_list};

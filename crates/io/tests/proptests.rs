@@ -149,11 +149,24 @@ fn arb_train_state() -> impl Strategy<Value = TrainState> {
         ),
     )
         .prop_map(|(t, slots)| AdamState { t, slots });
+    let mirrors = || {
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(arb_f32s(8), 0..3), 0..2),
+            0..2,
+        )
+    };
     let drpa = (
         proptest::collection::vec(proptest::collection::vec(arb_route_cache(), 0..3), 0..3),
         proptest::collection::vec(proptest::collection::vec(arb_route_cache(), 0..3), 0..3),
+        mirrors(),
+        mirrors(),
     )
-        .prop_map(|(root, leaf)| DrpaState { root, leaf });
+        .prop_map(|(root, leaf, codec_sent, codec_recv)| DrpaState {
+            root,
+            leaf,
+            codec_sent,
+            codec_recv,
+        });
     let outbox = proptest::collection::vec(
         (0u64..8, any::<u64>(), 0u64..16, arb_f32s(16)).prop_map(
             |(dst, tag, remaining_delay, payload)| PendingWire {
@@ -165,8 +178,9 @@ fn arb_train_state() -> impl Strategy<Value = TrainState> {
         ),
         0..5,
     );
-    (0u64..10_000, 0u32..64, 1u32..64, arb_f32s(64), adam, drpa, outbox).prop_map(
-        |(epoch, rank, ranks, params, adam, drpa, outbox)| TrainState {
+    let residuals = proptest::collection::vec(arb_f32s(16), 0..4);
+    (0u64..10_000, 0u32..64, 1u32..64, arb_f32s(64), adam, drpa, outbox, residuals).prop_map(
+        |(epoch, rank, ranks, params, adam, drpa, outbox, residuals)| TrainState {
             epoch,
             rank,
             ranks,
@@ -174,6 +188,7 @@ fn arb_train_state() -> impl Strategy<Value = TrainState> {
             adam,
             drpa,
             outbox,
+            residuals,
         },
     )
 }

@@ -44,10 +44,14 @@ pub enum Metric {
     HandleOpsCompleted = 17,
     HandleWaitNs = 18,
     HandleOverlapNs = 19,
+    // Compressed communication: pre-codec (logical) byte volumes; the
+    // plain BytesSent/BytesReceived report what crossed the wire.
+    LogicalBytesSent = 20,
+    LogicalBytesReceived = 21,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 20;
+pub const METRIC_COUNT: usize = 22;
 
 /// All metrics, in discriminant order.
 pub const METRICS: [Metric; METRIC_COUNT] = [
@@ -71,6 +75,8 @@ pub const METRICS: [Metric; METRIC_COUNT] = [
     Metric::HandleOpsCompleted,
     Metric::HandleWaitNs,
     Metric::HandleOverlapNs,
+    Metric::LogicalBytesSent,
+    Metric::LogicalBytesReceived,
 ];
 
 impl Metric {
@@ -97,6 +103,8 @@ impl Metric {
             Metric::HandleOpsCompleted => "handle_ops_completed",
             Metric::HandleWaitNs => "handle_wait_ns",
             Metric::HandleOverlapNs => "handle_overlap_ns",
+            Metric::LogicalBytesSent => "logical_bytes_sent",
+            Metric::LogicalBytesReceived => "logical_bytes_received",
         }
     }
 

@@ -124,6 +124,54 @@ pub fn unpack_half(packed: &[f32], len: usize, dec: impl Fn(u16) -> f32) -> Vec<
     out
 }
 
+/// Elements processed per inner loop of the chunked slice codecs.
+/// Chosen so one chunk of f32 input plus its packed output stays
+/// inside L1; the value only affects throughput, never the bits.
+pub const BF16_CHUNK: usize = 256;
+
+/// Chunked slice variant of [`pack_half`] with `f32_to_bf16`, writing
+/// into a caller-owned buffer so the codec hot path stays
+/// allocation-free once `out` has warmed to capacity. Bit-identical to
+/// the scalar `pack_half(src, f32_to_bf16)` path for every input.
+pub fn bf16_encode_slice_into(src: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(src.len().div_ceil(2));
+    for chunk in src.chunks(BF16_CHUNK) {
+        let mut pairs = chunk.chunks_exact(2);
+        for pair in &mut pairs {
+            let lo = f32_to_bf16(pair[0]) as u32;
+            let hi = (f32_to_bf16(pair[1]) as u32) << 16;
+            out.push(f32::from_bits(hi | lo));
+        }
+        // Only the final chunk of the slice can have an odd remainder
+        // because BF16_CHUNK is even.
+        if let [last] = pairs.remainder() {
+            out.push(f32::from_bits(f32_to_bf16(*last) as u32));
+        }
+    }
+}
+
+/// Chunked slice inverse of [`bf16_encode_slice_into`]; decodes into a
+/// caller-owned slice whose length is the original element count.
+/// Bit-identical to the scalar `unpack_half(packed, len, bf16_to_f32)`
+/// path.
+pub fn bf16_decode_slice_into(packed: &[f32], out: &mut [f32]) {
+    assert_eq!(packed.len(), out.len().div_ceil(2), "packed length mismatch");
+    let mut words = packed.iter();
+    for chunk in out.chunks_mut(BF16_CHUNK) {
+        let mut pairs = chunk.chunks_exact_mut(2);
+        for pair in &mut pairs {
+            let bits = words.next().expect("word count checked above").to_bits();
+            pair[0] = bf16_to_f32((bits & 0xFFFF) as u16);
+            pair[1] = bf16_to_f32((bits >> 16) as u16);
+        }
+        if let [last] = pairs.into_remainder() {
+            let bits = words.next().expect("word count checked above").to_bits();
+            *last = bf16_to_f32((bits & 0xFFFF) as u16);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +241,66 @@ mod tests {
     fn packed_volume_is_half() {
         let src = vec![1.0f32; 1000];
         assert_eq!(pack_half(&src, f32_to_bf16).len(), 500);
+    }
+
+    /// Deterministic pseudo-random f32s (xorshift over raw bits mapped
+    /// into a wide range), with specials sprinkled in.
+    fn mixed_values(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|i| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                match i % 17 {
+                    0 => f32::NAN,
+                    5 => f32::INFINITY,
+                    11 => f32::NEG_INFINITY,
+                    13 => 0.0,
+                    14 => -0.0,
+                    _ => (s as i32 as f32) * 1e-3,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_encode_is_bit_identical_to_scalar_path() {
+        for len in [0usize, 1, 2, 3, 255, 256, 257, 511, 512, 513, 1000] {
+            let src = mixed_values(len, 0x5EED + len as u64);
+            let scalar = pack_half(&src, f32_to_bf16);
+            let mut chunked = Vec::new();
+            bf16_encode_slice_into(&src, &mut chunked);
+            assert_eq!(scalar.len(), chunked.len(), "len {len}");
+            for (a, b) in scalar.iter().zip(&chunked) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_decode_is_bit_identical_to_scalar_path() {
+        for len in [0usize, 1, 2, 3, 255, 256, 257, 511, 512, 513, 1000] {
+            let src = mixed_values(len, 0xBF16 + len as u64);
+            let packed = pack_half(&src, f32_to_bf16);
+            let scalar = unpack_half(&packed, len, bf16_to_f32);
+            let mut chunked = vec![0.0f32; len];
+            bf16_decode_slice_into(&packed, &mut chunked);
+            for (a, b) in scalar.iter().zip(&chunked) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_encode_reuses_capacity() {
+        let src = mixed_values(700, 7);
+        let mut out = Vec::new();
+        bf16_encode_slice_into(&src, &mut out);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        bf16_encode_slice_into(&src, &mut out);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr);
     }
 }

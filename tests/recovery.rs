@@ -284,6 +284,64 @@ fn cdr_resumed_trajectory_matches_checkpoint_by_checkpoint() {
     std::fs::remove_dir_all(&dir_b).ok();
 }
 
+/// Compressed comm is part of the trajectory: a cd-0 run under the
+/// top-k codec (error-feedback residuals on the gradient stream, delta
+/// mirrors on the DRPA streams) crashed mid-training and resumed must
+/// still be bit-identical to the uninterrupted compressed run. This
+/// holds only because the checkpoint carries the per-rank residuals
+/// and the per-route codec mirrors — zeroing either ships different
+/// payloads after resume.
+#[test]
+fn compressed_cd0_kill_and_resume_is_bit_identical() {
+    use distgnn_suite::comm::WireCodec;
+    let ds = am(0.2);
+    let dir = scratch("compressed-cd0");
+    let mut chaos = DistConfig::new(&ds, DistMode::Cd0, 3, 12);
+    chaos.codec = WireCodec::TopK { percent: 10 };
+    chaos.checkpoint_every = 3;
+    chaos.checkpoint_dir = Some(dir.clone());
+    chaos.faults = FaultPlan::none().with_crash(1, 7);
+
+    let rec = DistTrainer::try_run_recovering(&ds, &chaos, 1, false)
+        .expect("one restart must absorb the crash under compression");
+    assert_eq!(rec.restarts, 1);
+    assert_eq!(rec.epochs_replayed, 1);
+
+    let reference = DistTrainer::try_run(&ds, &reference_of(&chaos)).expect("reference");
+    assert_eq!(
+        rec.run.final_params, reference.final_params,
+        "compressed kill-and-resume must restore residuals + codec mirrors bit-exactly"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Same drill in cd-r with the int8 codec: the snapshot must carry the
+/// codec mirrors for the *delta-encoded* bin refreshes alongside the
+/// route caches and outbox.
+#[test]
+fn compressed_cdr_kill_and_resume_is_bit_identical() {
+    use distgnn_suite::comm::WireCodec;
+    let ds = am(0.2);
+    let dir = scratch("compressed-cdr");
+    let mut chaos = DistConfig::new(&ds, DistMode::CdR { delay: 2 }, 3, 12);
+    chaos.codec = WireCodec::Int8;
+    chaos.checkpoint_every = 3;
+    chaos.checkpoint_dir = Some(dir.clone());
+    chaos.faults = FaultPlan::none().with_crash(2, 8);
+
+    let rec = DistTrainer::try_run_recovering(&ds, &chaos, 1, false)
+        .expect("one restart must absorb the crash under compression");
+    assert_eq!(rec.restarts, 1);
+    assert_eq!(rec.epochs_replayed, 2);
+
+    let reference = DistTrainer::try_run(&ds, &reference_of(&chaos)).expect("reference");
+    assert_eq!(
+        rec.run.final_params, reference.final_params,
+        "compressed cd-r resume must restore mirrors + route caches + outbox bit-exactly"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Strengthened for the overlap-first loop: the same cd-0 drill with
 /// the overlapped epoch loop and the *async* checkpoint writer. The
 /// background writer must have committed `ckpt-6` (and drained before

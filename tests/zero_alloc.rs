@@ -75,6 +75,45 @@ fn steady_state_train_epoch_allocates_nothing() {
     assert_eq!(n, 0, "steady-state train_epoch performed {n} heap allocations");
 }
 
+/// The codec hot path is allocation-free after warm-up: `encode_into`
+/// reuses the warmed output buffer, `decode_into` never allocates, and
+/// `ErrorFeedback::compress` runs entirely out of its four reused
+/// buffers — for every codec. The compressed collectives and the DRPA
+/// delta paths call these once per payload per epoch, so a per-call
+/// allocation would silently dominate small-message traffic.
+#[test]
+fn codec_hot_path_allocates_nothing() {
+    use distgnn_comm::{ErrorFeedback, WireCodec};
+
+    let _window = WINDOW.lock().unwrap();
+    let src: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.37).sin() * 1e3).collect();
+    for codec in [
+        WireCodec::None,
+        WireCodec::Bf16,
+        WireCodec::TopK { percent: 10 },
+        WireCodec::Int8,
+    ] {
+        let mut wire = Vec::new();
+        let mut decoded = vec![0.0f32; src.len()];
+        let mut ef = ErrorFeedback::new(true);
+        // Warm-up sizes `wire` and the error-feedback buffers.
+        codec.encode_into(&src, &mut wire);
+        codec.decode_into(&wire, &mut decoded);
+        ef.compress(&codec, &src);
+
+        let (n, _) = count_allocs(|| {
+            for _ in 0..4 {
+                codec.encode_into(&src, &mut wire);
+                codec.decode_into(&wire, &mut decoded);
+                let (shipped, words) = ef.compress(&codec, &src);
+                assert_eq!(words, wire.len());
+                assert!(shipped[0].is_finite());
+            }
+        });
+        assert_eq!(n, 0, "warm codec hot path allocated {n} times under {}", codec.name());
+    }
+}
+
 /// The same guarantee with telemetry recording enabled: span and epoch
 /// events land in the recorder's preallocated ring buffer, so the
 /// steady-state epoch still allocates nothing — even once the buffer
