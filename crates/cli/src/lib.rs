@@ -33,6 +33,12 @@ pub struct Cli {
     pub resume: bool,
     /// Relaunches allowed after a failed attempt.
     pub max_restarts: usize,
+    /// Resume a checkpoint written by a different world size: merge it
+    /// into one global state and re-shard for `--sockets` ranks.
+    pub elastic_resume: bool,
+    /// On a fail-stop crash, survivors adopt the dead rank's shard from
+    /// the newest checkpoint and continue at N−1 (no world restart).
+    pub adopt_on_crash: bool,
     /// Write a Chrome `trace_event` timeline here (enables recording).
     pub trace_out: Option<String>,
     /// Write the end-of-run metrics JSON here (enables recording).
@@ -83,6 +89,8 @@ impl Default for Cli {
             checkpoint_dir: None,
             resume: false,
             max_restarts: 0,
+            elastic_resume: false,
+            adopt_on_crash: false,
             trace_out: None,
             metrics_out: None,
             progress: None,
@@ -109,7 +117,17 @@ impl Cli {
     /// True when any recovery machinery (checkpoints, resume, or
     /// supervised restarts) is requested.
     pub fn wants_recovery(&self) -> bool {
-        self.checkpoint_dir.is_some() || self.resume || self.max_restarts > 0
+        self.checkpoint_dir.is_some()
+            || self.resume
+            || self.max_restarts > 0
+            || self.elastic_resume
+            || self.adopt_on_crash
+    }
+
+    /// True when the run should go through the elastic supervisor
+    /// (dynamic world size) rather than the fixed-world recovery loop.
+    pub fn wants_elastic(&self) -> bool {
+        self.elastic_resume || self.adopt_on_crash
     }
 
     /// True when phase recording should be on (any exporter requested).
@@ -171,6 +189,12 @@ RECOVERY OPTIONS (dist-train):
     --resume                 start from the newest checkpoint in the dir
     --max-restarts <n>       relaunch from the last checkpoint up to n
                              times after a failed attempt (default 0)
+    --elastic-resume         allow --resume from a checkpoint written by a
+                             different world size: merge it into one global
+                             state and re-shard it for --sockets ranks
+    --adopt-on-crash         on a fail-stop crash, the survivors adopt the
+                             dead rank's shard from the newest checkpoint
+                             and keep training at N-1 (no world restart)
 
 OBSERVABILITY OPTIONS (dist-train):
     --trace-out <path>       write a Chrome trace_event timeline (open in
@@ -226,6 +250,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--checkpoint-dir" => cli.checkpoint_dir = Some(value()?.clone()),
             "--resume" => cli.resume = true,
             "--max-restarts" => cli.max_restarts = parse_num(flag, value()?)?,
+            "--elastic-resume" => cli.elastic_resume = true,
+            "--adopt-on-crash" => cli.adopt_on_crash = true,
             "--progress" => cli.progress = Some(ProgressMode::parse(value()?)?),
             "--compress" => cli.compress = WireCodec::parse(value()?)?,
             "--compress-grads" => cli.compress_grads = Some(WireCodec::parse(value()?)?),
@@ -380,6 +406,25 @@ mod tests {
         let r = parse(&argv("dist-train --resume --epochs 7")).unwrap();
         assert!(r.resume);
         assert_eq!(r.epochs, 7);
+    }
+
+    #[test]
+    fn elastic_flags_parse_and_select_the_elastic_path() {
+        let plain = parse(&argv("dist-train")).unwrap();
+        assert!(!plain.elastic_resume && !plain.adopt_on_crash);
+        assert!(!plain.wants_elastic());
+
+        let e = parse(&argv("dist-train --resume --elastic-resume --sockets 4")).unwrap();
+        assert!(e.elastic_resume);
+        assert!(e.wants_elastic() && e.wants_recovery());
+
+        let a = parse(&argv(
+            "dist-train --adopt-on-crash --faults crash=2@4 --checkpoint-every 2 \
+             --checkpoint-dir ck",
+        ))
+        .unwrap();
+        assert!(a.adopt_on_crash && !a.elastic_resume);
+        assert!(a.wants_elastic() && a.wants_recovery());
     }
 
     #[test]

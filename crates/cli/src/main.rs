@@ -82,6 +82,8 @@ fn dist_train(cli: &Cli) {
     cfg.grad_codec = cli.compress_grads;
     cfg.error_feedback = !cli.no_error_feedback;
     cfg.lossy_checkpoints = cli.lossy_checkpoints;
+    cfg.elastic_resume = cli.elastic_resume;
+    cfg.adopt_on_crash = cli.adopt_on_crash;
     println!(
         "mode {}, {} sockets, wire {}, compress {}{}",
         cli.mode.name(),
@@ -96,17 +98,24 @@ fn dist_train(cli: &Cli) {
         TelemetryHub::disabled(cli.sockets)
     };
     let report = if cli.wants_recovery() {
-        let edges = ds.graph.to_edge_list();
-        let partitioning = libra_partition(&edges, cfg.num_parts);
-        let pg = distgnn_partition::PartitionedGraph::build(&edges, &partitioning, cfg.seed);
-        match DistTrainer::try_run_recovering_on_with_telemetry(
-            &ds,
-            &pg,
-            &cfg,
-            cli.max_restarts,
-            cli.resume,
-            &hub,
-        ) {
+        // The elastic supervisor owns its graph (it re-partitions on
+        // membership changes); the fixed-world loop gets a prebuilt one.
+        let attempt = if cli.wants_elastic() {
+            DistTrainer::try_run_elastic_with_telemetry(&ds, &cfg, cli.max_restarts, cli.resume, &hub)
+        } else {
+            let edges = ds.graph.to_edge_list();
+            let partitioning = libra_partition(&edges, cfg.num_parts);
+            let pg = distgnn_partition::PartitionedGraph::build(&edges, &partitioning, cfg.seed);
+            DistTrainer::try_run_recovering_on_with_telemetry(
+                &ds,
+                &pg,
+                &cfg,
+                cli.max_restarts,
+                cli.resume,
+                &hub,
+            )
+        };
+        match attempt {
             Ok(rec) => {
                 for f in &rec.failures {
                     eprintln!("attempt failed: {f}");
@@ -116,6 +125,12 @@ fn dist_train(cli: &Cli) {
                      ({} backoff barriers)",
                     rec.restarts, rec.epochs_replayed, rec.retries_absorbed, rec.backoff_barriers
                 );
+                if rec.adoptions > 0 {
+                    println!(
+                        "elastic: {} rank(s) adopted, finished at world size {}",
+                        rec.adoptions, rec.final_world
+                    );
+                }
                 rec.run
             }
             Err(e) => {

@@ -121,10 +121,20 @@ struct Shared {
     /// reduce every instrumentation call to a branch, mirroring the
     /// fault fast path.
     telemetry: Vec<Arc<Recorder>>,
+    /// Membership generation of this world. Stamped on exported outbox
+    /// messages; restoring a message from another generation drops it,
+    /// so a shrunk or resized world never mixes traffic with the old
+    /// one.
+    generation: u64,
 }
 
 impl Shared {
-    fn new(size: usize, plan: &FaultPlan, telemetry: Option<&[Arc<Recorder>]>) -> Self {
+    fn new(
+        size: usize,
+        plan: &FaultPlan,
+        telemetry: Option<&[Arc<Recorder>]>,
+        generation: u64,
+    ) -> Self {
         let telemetry = match telemetry {
             Some(recs) => {
                 assert_eq!(recs.len(), size, "need one recorder per rank");
@@ -150,6 +160,7 @@ impl Shared {
                 Some(FaultRuntime::new(plan.clone(), size))
             },
             telemetry,
+            generation,
         }
     }
 }
@@ -165,7 +176,7 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        Self::run_inner(num_ranks, &FaultPlan::none(), None, f).0
+        Self::run_inner(num_ranks, &FaultPlan::none(), None, 0, f).0
     }
 
     /// Like [`Cluster::run`] but also returns the per-rank
@@ -175,7 +186,7 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        Self::run_inner(num_ranks, &FaultPlan::none(), None, f)
+        Self::run_inner(num_ranks, &FaultPlan::none(), None, 0, f)
     }
 
     /// Runs under a fault-injection plan. With the same `plan` (same
@@ -190,7 +201,7 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        Self::run_inner(num_ranks, plan, None, f)
+        Self::run_inner(num_ranks, plan, None, 0, f)
     }
 
     /// Like [`Cluster::run_with_faults`] but with one phase
@@ -208,13 +219,32 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
-        Self::run_inner(num_ranks, plan, Some(recorders), f)
+        Self::run_inner(num_ranks, plan, Some(recorders), 0, f)
+    }
+
+    /// Like [`Cluster::run_with_telemetry`] but under an explicit
+    /// membership generation. Elastic resumes and post-adoption worlds
+    /// run here so exported comm state is stamped with their
+    /// generation and restores drop any older generation's traffic.
+    pub fn run_with_membership<F, R>(
+        num_ranks: usize,
+        plan: &FaultPlan,
+        recorders: &[Arc<Recorder>],
+        generation: u64,
+        f: F,
+    ) -> (Vec<R>, Vec<CommSnapshot>)
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        Self::run_inner(num_ranks, plan, Some(recorders), generation, f)
     }
 
     fn run_inner<F, R>(
         num_ranks: usize,
         plan: &FaultPlan,
         recorders: Option<&[Arc<Recorder>]>,
+        generation: u64,
         f: F,
     ) -> (Vec<R>, Vec<CommSnapshot>)
     where
@@ -222,7 +252,7 @@ impl Cluster {
         R: Send,
     {
         assert!(num_ranks >= 1, "need at least one rank");
-        let shared = Shared::new(num_ranks, plan, recorders);
+        let shared = Shared::new(num_ranks, plan, recorders, generation);
         let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(num_ranks);
@@ -750,6 +780,7 @@ impl RankCtx<'_> {
                     dst,
                     tag,
                     remaining_delay: msg.available_at.saturating_sub(now),
+                    generation: self.shared.generation,
                     payload: msg.payload.clone(),
                 });
             }
@@ -759,6 +790,7 @@ impl RankCtx<'_> {
                         dst,
                         tag: *tag,
                         remaining_delay: msg.available_at.saturating_sub(now),
+                        generation: self.shared.generation,
                         payload: msg.payload.clone(),
                     });
                 }
@@ -772,16 +804,31 @@ impl RankCtx<'_> {
     /// cluster's mailboxes, shifting each `remaining_delay` onto the
     /// current barrier clock. Counts toward no send/recv statistics:
     /// the wire traffic was already accounted for when the messages
-    /// were first sent.
+    /// were first sent. Messages stamped with a different membership
+    /// generation are dropped (counted in
+    /// [`CommSnapshot::stale_generation_dropped`]): after an elastic
+    /// resize or a rank adoption the old world's in-flight traffic is
+    /// addressed to ranks that no longer exist under the same numbers,
+    /// so delivering it would corrupt the new world.
     pub fn restore_outbox(&self, pending: &[PendingMsg]) {
         let now = self.barriers.get();
         for m in pending {
+            if m.generation != self.shared.generation {
+                self.shared.stats[self.rank].record_stale_generation_dropped();
+                continue;
+            }
             assert!(m.dst < self.size(), "restored message addressed out of range");
             self.shared.tagged[self.rank][m.dst].lock().insert(
                 m.tag,
                 Msg { payload: m.payload.clone(), available_at: now + m.remaining_delay },
             );
         }
+    }
+
+    /// The membership generation this world was started under (0 for a
+    /// fresh, never-resized cluster).
+    pub fn membership_generation(&self) -> u64 {
+        self.shared.generation
     }
 
     /// This rank's communication counters.
@@ -1023,6 +1070,10 @@ pub struct PendingMsg {
     /// Barriers (relative to the exporting rank's clock) until the
     /// message becomes visible; 0 = immediately.
     pub remaining_delay: u64,
+    /// Membership generation the message was posted under; restores
+    /// into a different generation drop it (see
+    /// [`RankCtx::restore_outbox`]).
+    pub generation: u64,
     pub payload: Vec<f32>,
 }
 
@@ -1532,6 +1583,45 @@ mod fault_tests {
             }
         });
         assert_eq!(got[1], (Some(vec![1.0]), Some(vec![2.0])));
+    }
+
+    /// Exports stamp the world's membership generation; a restore into
+    /// a different generation drops the message (counted) instead of
+    /// delivering cross-world traffic.
+    #[test]
+    fn restore_drops_other_generations_traffic() {
+        let recs: Vec<_> = (0..2).map(|_| Arc::new(Recorder::disabled())).collect();
+        let (out, _) = Cluster::run_with_membership(2, &FaultPlan::none(), &recs, 7, |ctx| {
+            assert_eq!(ctx.membership_generation(), 7);
+            ctx.send_tagged(1 - ctx.rank(), 9, vec![3.5]);
+            ctx.barrier();
+            ctx.export_outbox()
+        });
+        assert!(out[0].iter().all(|m| m.generation == 7));
+        let exported = out[0].clone();
+        // Same generation: the message survives the restore.
+        let (got, _) =
+            Cluster::run_with_membership(2, &FaultPlan::none(), &recs, 7, move |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.restore_outbox(&exported);
+                }
+                ctx.barrier();
+                if ctx.rank() == 1 { ctx.try_recv_tagged(0, 9) } else { None }
+            });
+        assert_eq!(got[1], Some(vec![3.5]));
+        // New generation: dropped and counted, never delivered.
+        let exported = out[0].clone();
+        let (got, snaps) =
+            Cluster::run_with_membership(2, &FaultPlan::none(), &recs, 8, move |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.restore_outbox(&exported);
+                }
+                ctx.barrier();
+                if ctx.rank() == 1 { ctx.try_recv_tagged(0, 9) } else { None }
+            });
+        assert_eq!(got[1], None);
+        assert_eq!(snaps[0].stale_generation_dropped, 1);
+        assert_eq!(snaps[1].stale_generation_dropped, 0);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct CommStats {
     messages_delayed: AtomicU64,
     messages_reordered: AtomicU64,
     sends_stalled: AtomicU64,
+    // Checkpointed in-flight messages dropped at restore because they
+    // were stamped with a different membership generation (elastic
+    // resize / rank adoption).
+    stale_generation_dropped: AtomicU64,
     // Retry-policy accounting (zero unless a RetryPolicy fires).
     retries_attempted: AtomicU64,
     backoff_barriers: AtomicU64,
@@ -102,6 +106,12 @@ impl CommStats {
         self.sends_stalled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A restored in-flight message carried another membership
+    /// generation's stamp and was dropped instead of re-posted.
+    pub fn record_stale_generation_dropped(&self) {
+        self.stale_generation_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A retry round fired, waiting `backoff` barriers before the
     /// re-check (see `retry::RetryPolicy`).
     pub fn record_retry(&self, backoff: u64) {
@@ -165,6 +175,7 @@ impl CommStats {
             messages_delayed: self.messages_delayed.load(Ordering::Relaxed),
             messages_reordered: self.messages_reordered.load(Ordering::Relaxed),
             sends_stalled: self.sends_stalled.load(Ordering::Relaxed),
+            stale_generation_dropped: self.stale_generation_dropped.load(Ordering::Relaxed),
             retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
             backoff_barriers: self.backoff_barriers.load(Ordering::Relaxed),
             max_staleness: self.max_staleness.load(Ordering::Relaxed),
@@ -195,6 +206,9 @@ pub struct CommSnapshot {
     pub messages_delayed: u64,
     pub messages_reordered: u64,
     pub sends_stalled: u64,
+    /// Restored in-flight messages dropped for carrying a different
+    /// membership generation's stamp.
+    pub stale_generation_dropped: u64,
     /// Retry rounds fired by a `RetryPolicy` before giving up or
     /// succeeding.
     pub retries_attempted: u64,

@@ -17,14 +17,18 @@ use distgnn_comm::{
     AllReduceHandle, Cluster, CommError, ErrorFeedback, FaultPlan, PendingMsg, ProgressMode,
     RankCtx, RetryPolicy, WireCodec,
 };
-use distgnn_graph::Dataset;
+use crate::elastic::{merge_cluster_state, reshard_states};
+use distgnn_graph::{Dataset, EdgeList};
 use distgnn_io::{
     encode_train_state_mode, list_checkpoints, load_cluster_state, save_cluster_manifest,
     save_train_state_mode, AsyncCheckpointWriter, CheckpointMode, PendingWire, TrainState,
 };
 use distgnn_kernels::AggregationConfig;
 use distgnn_nn::{Adam, AdamConfig};
-use distgnn_partition::{libra_partition, PartitionedGraph};
+use distgnn_partition::{
+    libra_partition, reshard_partitioning, reshard_remove_part, PartId, PartitionedGraph,
+    Partitioning,
+};
 use distgnn_telemetry::{Metric, MetricsRegistry, Phase, Recorder, TelemetryHub, TraceCounter};
 use distgnn_tensor::{reduce, Matrix};
 use std::path::{Path, PathBuf};
@@ -133,6 +137,21 @@ pub struct DistConfig {
     /// ([`CheckpointMode::LossyBf16`]): halves the weight-bearing
     /// sections, but resume is no longer bit-exact.
     pub lossy_checkpoints: bool,
+    /// Allow resuming a checkpoint written by a different world size:
+    /// the supervisor merges the global param/Adam state, re-shards the
+    /// vertex-cut online and restarts at [`DistConfig::num_parts`]
+    /// ranks under a fresh membership generation. Without this flag a
+    /// world-size mismatch is a hard error.
+    pub elastic_resume: bool,
+    /// On a fail-stop crash, let the survivors vote on the newest valid
+    /// checkpoint and adopt the dead rank's shard — training continues
+    /// at world size N−1 with no world restart — instead of restarting
+    /// the whole world.
+    pub adopt_on_crash: bool,
+    /// Membership generation this world runs under (0 for a fresh
+    /// cluster; bumped by the supervisor on every elastic resize or
+    /// adoption). Stamped on checkpoints and in-flight comm state.
+    pub generation: u64,
 }
 
 impl DistConfig {
@@ -161,6 +180,9 @@ impl DistConfig {
             grad_codec: None,
             error_feedback: true,
             lossy_checkpoints: false,
+            elastic_resume: false,
+            adopt_on_crash: false,
+            generation: 0,
         }
     }
 
@@ -364,6 +386,19 @@ impl DistTrainer {
         Self::try_run_resumed(dataset, &pg, config, None, Some(hub))
     }
 
+    /// [`DistTrainer::try_run_on`] starting from explicit per-rank
+    /// states (one per partition, all from the same epoch barrier).
+    /// The elastic re-shard path hands merged/re-sharded states here;
+    /// tests use it to start a "fresh" world from a prescribed state.
+    pub fn try_run_on_resumed(
+        dataset: &Dataset,
+        pg: &PartitionedGraph,
+        config: &DistConfig,
+        states: &[TrainState],
+    ) -> Result<DistRunReport, DistError> {
+        Self::try_run_resumed(dataset, pg, config, Some(states), None)
+    }
+
     /// Like [`DistTrainer::try_run_on`], but optionally starting from a
     /// consistent cluster checkpoint (one [`TrainState`] per rank, all
     /// from the same epoch barrier). Restoring params, Adam moments,
@@ -382,8 +417,8 @@ impl DistTrainer {
             assert_eq!(
                 states.len(),
                 k,
-                "checkpoint has {} ranks, run has {k}: rank-count elasticity on resume \
-                 is not supported",
+                "checkpoint holds a {}-rank world but this run wants {k} ranks: resume \
+                 through the elastic path (--elastic-resume) to merge and re-shard it",
                 states.len()
             );
         }
@@ -401,8 +436,15 @@ impl DistTrainer {
         let disabled_hub;
         let recorders: &[Arc<Recorder>] = match hub {
             Some(h) => {
-                assert_eq!(h.num_ranks(), k, "telemetry hub rank-count mismatch");
-                h.recorders()
+                // A shrunk world keeps the original hub: ranks 0..k keep
+                // their recorders (and attribution), the dead ranks'
+                // recorders simply stop receiving events.
+                assert!(
+                    h.num_ranks() >= k,
+                    "telemetry hub has {} ranks, world needs {k}",
+                    h.num_ranks()
+                );
+                &h.recorders()[..k]
             }
             None => {
                 disabled_hub = TelemetryHub::disabled(k);
@@ -419,7 +461,8 @@ impl DistTrainer {
             _ => None,
         };
 
-        let (results, comm) = Cluster::run_with_telemetry(k, &config.faults, recorders, |ctx| {
+        let (results, comm) =
+            Cluster::run_with_membership(k, &config.faults, recorders, config.generation, |ctx| {
             let me = ctx.rank();
             let data = &rank_data[me];
             if let Some(mode) = config.overlap {
@@ -606,6 +649,7 @@ impl DistTrainer {
                                 epoch: (e + 1) as u64,
                                 rank: me as u32,
                                 ranks: k as u32,
+                                generation: ctx.membership_generation(),
                                 params: model.write_params(),
                                 adam: adam.write_state(),
                                 drpa: agg.export_state(),
@@ -725,7 +769,8 @@ impl DistTrainer {
 pub struct RecoveryReport {
     /// The report of the final (successful) training attempt.
     pub run: DistRunReport,
-    /// Restarts taken after failed attempts.
+    /// Restarts taken after failed attempts. Adoptions are membership
+    /// changes, not restarts, and do not count here.
     pub restarts: usize,
     /// Epochs re-executed because they post-dated the last checkpoint.
     pub epochs_replayed: usize,
@@ -736,6 +781,18 @@ pub struct RecoveryReport {
     pub backoff_barriers: u64,
     /// The error each failed attempt died with, in order.
     pub failures: Vec<DistError>,
+    /// Crashed-rank shards adopted by the survivors (each one shrinks
+    /// the world by a rank instead of restarting it).
+    pub adoptions: usize,
+    /// World size the run finished at (`num_parts` minus adoptions).
+    pub final_world: usize,
+}
+
+/// What the elastic supervisor needs to re-cut the graph when the world
+/// size changes: the global edge list and the current vertex-cut.
+struct ElasticCtx {
+    edges: EdgeList,
+    partitioning: Partitioning,
 }
 
 impl DistTrainer {
@@ -798,17 +855,92 @@ impl DistTrainer {
         resume: bool,
         hub: Option<&TelemetryHub>,
     ) -> Result<RecoveryReport, DistError> {
+        Self::supervise(dataset, Some(pg), config, max_restarts, resume, hub, None)
+    }
+
+    /// Supervised training that treats the world size as *dynamic*:
+    ///
+    /// - **resize on resume** — when the newest checkpoint under
+    ///   `config.checkpoint_dir` was written by a different world size,
+    ///   it is merged into one [`GlobalState`](crate::GlobalState),
+    ///   the graph is online-re-partitioned for `config.num_parts`
+    ///   ranks, and training resumes at the new size under a fresh
+    ///   membership generation;
+    /// - **shrink on crash** — with [`DistConfig::adopt_on_crash`], a
+    ///   fail-stop crash makes the survivors vote on the newest valid
+    ///   checkpoint, adopt the dead rank's shard from it, and continue
+    ///   at world size N−1 without a world restart.
+    ///
+    /// Everything [`DistTrainer::try_run_recovering`] does (checkpoint
+    /// fallback, restart budget, replay accounting) still applies to
+    /// failures that adoption cannot absorb.
+    pub fn try_run_elastic(
+        dataset: &Dataset,
+        config: &DistConfig,
+        max_restarts: usize,
+        resume: bool,
+    ) -> Result<RecoveryReport, DistError> {
+        Self::elastic_inner(dataset, config, max_restarts, resume, None)
+    }
+
+    /// [`DistTrainer::try_run_elastic`] with phase recording. The hub
+    /// must have at least `config.num_parts` recorders; after a shrink
+    /// the surviving ranks keep their recorders.
+    pub fn try_run_elastic_with_telemetry(
+        dataset: &Dataset,
+        config: &DistConfig,
+        max_restarts: usize,
+        resume: bool,
+        hub: &TelemetryHub,
+    ) -> Result<RecoveryReport, DistError> {
+        Self::elastic_inner(dataset, config, max_restarts, resume, Some(hub))
+    }
+
+    fn elastic_inner(
+        dataset: &Dataset,
+        config: &DistConfig,
+        max_restarts: usize,
+        resume: bool,
+        hub: Option<&TelemetryHub>,
+    ) -> Result<RecoveryReport, DistError> {
+        let edges = dataset.graph.to_edge_list();
+        let partitioning = libra_partition(&edges, config.num_parts);
+        let elastic = ElasticCtx { edges, partitioning };
+        Self::supervise(dataset, None, config, max_restarts, resume, hub, Some(elastic))
+    }
+
+    /// The supervision loop behind both the fixed-world recovery path
+    /// (`elastic = None`: the world size is a constant, a mismatched
+    /// checkpoint is fatal) and the elastic path (`elastic = Some`:
+    /// mismatches re-shard, crashes may shrink).
+    fn supervise(
+        dataset: &Dataset,
+        pg: Option<&PartitionedGraph>,
+        config: &DistConfig,
+        max_restarts: usize,
+        resume: bool,
+        hub: Option<&TelemetryHub>,
+        mut elastic: Option<ElasticCtx>,
+    ) -> Result<RecoveryReport, DistError> {
         let mut cfg = config.clone();
         let mut restarts = 0usize;
+        let mut adoptions = 0usize;
         let mut epochs_replayed = 0usize;
         let mut failures = Vec::new();
+        // The elastic path owns its graph (it may rebuild it on every
+        // membership change); the fixed path borrows the caller's.
+        let mut owned_pg = elastic
+            .as_ref()
+            .map(|e| PartitionedGraph::build(&e.edges, &e.partitioning, cfg.seed));
         let mut states = if resume {
             load_newest_valid_checkpoint(cfg.checkpoint_dir.as_deref())
         } else {
             None
         };
+        Self::reconcile_world(&mut cfg, &mut states, &mut elastic, &mut owned_pg);
         loop {
-            match Self::try_run_resumed(dataset, pg, &cfg, states.as_deref(), hub) {
+            let graph = owned_pg.as_ref().or(pg).expect("supervise needs a graph");
+            match Self::try_run_resumed(dataset, graph, &cfg, states.as_deref(), hub) {
                 Ok(run) => {
                     let retries_absorbed =
                         run.per_rank_comm.iter().map(|s| s.retries_attempted).sum();
@@ -821,9 +953,58 @@ impl DistTrainer {
                         retries_absorbed,
                         backoff_barriers,
                         failures,
+                        adoptions,
+                        final_world: cfg.num_parts,
                     });
                 }
                 Err(err) => {
+                    // A fail-stop crash with adoption enabled shrinks
+                    // the world instead of restarting it: survivors
+                    // vote on a checkpoint, adopt the dead rank's
+                    // shard, and keep training at N−1. Not a restart —
+                    // the budget is untouched.
+                    if let (CommError::RankCrashed { rank }, Some(e)) =
+                        (&err.source, elastic.as_mut().filter(|_| cfg.adopt_on_crash))
+                    {
+                        let rank = *rank;
+                        if cfg.num_parts > 1 {
+                            if let Some(adopted) = Self::adoption_vote(
+                                cfg.num_parts - 1,
+                                cfg.checkpoint_dir.as_deref(),
+                            ) {
+                                let survivors = cfg.num_parts - 1;
+                                // Survivors keep their shards; only the
+                                // dead rank's edges move.
+                                e.partitioning =
+                                    reshard_remove_part(&e.edges, &e.partitioning, rank as PartId);
+                                let global = merge_cluster_state(&adopted).unwrap_or_else(|m| {
+                                    panic!("adopted checkpoint is inconsistent: {m}")
+                                });
+                                // Every membership change opens a new
+                                // generation so no old-world traffic
+                                // (restored outboxes) leaks in.
+                                let generation = global.generation + 1;
+                                states = Some(reshard_states(&global, survivors, generation));
+                                owned_pg =
+                                    Some(PartitionedGraph::build(&e.edges, &e.partitioning, cfg.seed));
+                                cfg.num_parts = survivors;
+                                cfg.generation = generation;
+                                cfg.faults = FaultPlan::none();
+                                adoptions += 1;
+                                let replayed = err.epoch.saturating_sub(global.epoch as usize);
+                                epochs_replayed += replayed;
+                                if let Some(h) = hub {
+                                    let live = cfg.num_parts.min(h.num_ranks());
+                                    for r in &h.recorders()[..live] {
+                                        r.counter(TraceCounter::Adoption, 1);
+                                        r.counter(TraceCounter::Replay, replayed as u64);
+                                    }
+                                }
+                                failures.push(err);
+                                continue;
+                            }
+                        }
+                    }
                     if restarts >= max_restarts {
                         return Err(err);
                     }
@@ -834,11 +1015,16 @@ impl DistTrainer {
                     // would otherwise re-fire on every replay).
                     cfg.faults = FaultPlan::none();
                     states = load_newest_valid_checkpoint(cfg.checkpoint_dir.as_deref());
+                    // A restart right after an adoption can reload a
+                    // checkpoint the *pre*-shrink world wrote; the
+                    // elastic path re-shards it for the current size.
+                    Self::reconcile_world(&mut cfg, &mut states, &mut elastic, &mut owned_pg);
                     let resume_epoch = states.as_ref().map_or(0, |s| s[0].epoch as usize);
                     let replayed = err.epoch.saturating_sub(resume_epoch);
                     epochs_replayed += replayed;
                     if let Some(h) = hub {
-                        for r in h.recorders() {
+                        let live = cfg.num_parts.min(h.num_ranks());
+                        for r in &h.recorders()[..live] {
                             r.counter(TraceCounter::Replay, replayed as u64);
                         }
                     }
@@ -846,6 +1032,87 @@ impl DistTrainer {
                 }
             }
         }
+    }
+
+    /// Brings loaded checkpoint states and the world size into
+    /// agreement before an attempt launches.
+    ///
+    /// - Same size: adopt the checkpoint's membership generation so
+    ///   restored outbox traffic passes the generation filter.
+    /// - Different size, elastic: merge the checkpoint into a
+    ///   [`GlobalState`](crate::GlobalState), reconstruct the source
+    ///   world's deterministic Libra cut, online-re-shard it for
+    ///   `cfg.num_parts`, rebuild the graph, and re-expand the merged
+    ///   state under a fresh generation.
+    /// - Different size, fixed world: panic with the actionable
+    ///   message (`--elastic-resume` is the way out).
+    fn reconcile_world(
+        cfg: &mut DistConfig,
+        states: &mut Option<Vec<TrainState>>,
+        elastic: &mut Option<ElasticCtx>,
+        owned_pg: &mut Option<PartitionedGraph>,
+    ) {
+        let Some(sts) = states.as_ref() else { return };
+        if sts.len() == cfg.num_parts {
+            cfg.generation = sts[0].generation;
+            return;
+        }
+        let Some(e) = elastic.as_mut() else {
+            panic!(
+                "checkpoint holds a {}-rank world but this run wants {} ranks: resume \
+                 through the elastic path (--elastic-resume) to merge and re-shard it",
+                sts.len(),
+                cfg.num_parts
+            );
+        };
+        // Libra is deterministic, so the source world's cut can be
+        // reconstructed from its rank count alone; re-sharding from it
+        // (rather than cutting from scratch) keeps surviving shards in
+        // place when the sizes are close.
+        let old = libra_partition(&e.edges, sts.len());
+        e.partitioning = reshard_partitioning(&e.edges, &old, cfg.num_parts);
+        *owned_pg = Some(PartitionedGraph::build(&e.edges, &e.partitioning, cfg.seed));
+        let global = merge_cluster_state(sts)
+            .unwrap_or_else(|m| panic!("cannot merge checkpoint for elastic resume: {m}"));
+        let generation = global.generation + 1;
+        cfg.generation = generation;
+        *states = Some(reshard_states(&global, cfg.num_parts, generation));
+    }
+
+    /// The adoption vote: each survivor independently scans the
+    /// checkpoint directory for the newest epoch whose cluster
+    /// checkpoint loads and validates completely, then the survivors
+    /// agree by AllReduce. Returns the agreed checkpoint's states, or
+    /// `None` when there is no directory, no loadable checkpoint, or no
+    /// unanimity (e.g. a concurrently-committing snapshot visible to
+    /// some survivors only) — the caller then falls back to a restart.
+    fn adoption_vote(survivors: usize, dir: Option<&Path>) -> Option<Vec<TrainState>> {
+        let dir = dir?;
+        let votes = Cluster::run(survivors, |ctx| {
+            // Newest epoch that loads, −1 sentinel for "none".
+            let mine = list_checkpoints(dir)
+                .into_iter()
+                .rev()
+                .find(|(_, path)| load_cluster_state(path).is_ok())
+                .map_or(-1.0f32, |(epoch, _)| epoch as f32);
+            let mut sum = [mine];
+            ctx.all_reduce_sum(&mut sum);
+            // Unanimity in two rounds: first check that everyone saw
+            // my epoch (the sum is then exactly size × mine), then
+            // AllReduce the agreement flags so a single dissenter —
+            // say, one that raced a snapshot commit — vetoes for all.
+            let agree = mine >= 0.0 && (sum[0] - mine * ctx.size() as f32).abs() < 0.5;
+            let mut flags = [if agree { 1.0f32 } else { 0.0 }];
+            ctx.all_reduce_sum(&mut flags);
+            if flags[0] as usize == ctx.size() {
+                Some(mine as u64)
+            } else {
+                None
+            }
+        });
+        let epoch = votes[0]?;
+        let (_, path) = list_checkpoints(dir).into_iter().find(|(e, _)| *e == epoch)?;
+        load_cluster_state(&path).ok()
     }
 }
 
@@ -882,6 +1149,7 @@ pub fn build_metrics(
         rank.set(Metric::HandleOverlapNs, snap.handle_overlap_ns);
         rank.set(Metric::LogicalBytesSent, snap.logical_bytes_sent);
         rank.set(Metric::LogicalBytesReceived, snap.logical_bytes_received);
+        rank.set(Metric::StaleGenerationDropped, snap.stale_generation_dropped);
         rank.stale_hist = snap.stale_hist.to_vec();
         if r < report.partition_vertices.len() {
             let (n, m) = (report.partition_vertices[r], report.partition_edges[r]);
@@ -898,6 +1166,8 @@ pub fn build_metrics(
             reg.absorb_recorder(r, hub.rank(r));
             reg.rank_mut(r)
                 .set(Metric::EpochsReplayed, hub.rank(r).counter_total(TraceCounter::Replay));
+            reg.rank_mut(r)
+                .set(Metric::Adoptions, hub.rank(r).counter_total(TraceCounter::Adoption));
         }
     }
     reg
@@ -920,6 +1190,7 @@ fn wires_to_msgs(wires: &[PendingWire]) -> Vec<PendingMsg> {
             dst: w.dst as usize,
             tag: w.tag,
             remaining_delay: w.remaining_delay,
+            generation: w.generation,
             payload: w.payload.clone(),
         })
         .collect()
@@ -931,6 +1202,7 @@ fn msgs_to_wires(msgs: Vec<PendingMsg>) -> Vec<PendingWire> {
             dst: m.dst as u64,
             tag: m.tag,
             remaining_delay: m.remaining_delay,
+            generation: m.generation,
             payload: m.payload,
         })
         .collect()
@@ -994,6 +1266,7 @@ fn write_cluster_checkpoint(
         epoch,
         rank: me as u32,
         ranks: k as u32,
+        generation: ctx.membership_generation(),
         params: model.write_params(),
         adam: adam.write_state(),
         drpa: agg.export_state(),

@@ -1,0 +1,274 @@
+//! Elastic membership: merging an N-rank checkpoint into one global
+//! state and re-sharding it for an M-rank world.
+//!
+//! The paper's design fixes the socket count for the life of a run;
+//! this module is the piece that lets the reproduction treat it as
+//! dynamic. A cluster checkpoint is one [`TrainState`] per rank, but
+//! almost all of it is *replicated* state: every rank holds the full
+//! model and the full Adam moments (identical bit-for-bit under `cd-0`
+//! and `cd-r`, divergent only under `0c`, whose clones never sync).
+//! Merging therefore means:
+//!
+//! - **params / Adam moments** — take rank 0 when all replicas are
+//!   bit-identical (the common case; never average identical values,
+//!   that would forfeit bit-exactness), element-wise mean otherwise
+//!   (`0c`'s replicas legitimately drift, and the mean is the natural
+//!   consensus to restart a differently-sized world from);
+//! - **error-feedback residuals** — summed element-wise across ranks.
+//!   The invariant a lossy gradient codec maintains is
+//!   `Σ shipped = Σ grad − Σ residual` *summed over ranks*; assigning
+//!   the summed residual to one rank of the new world (rank 0) and
+//!   zeros to the rest preserves the global gradient mass exactly;
+//! - **DRPA caches / outboxes** — dropped. They are addressed in the
+//!   old world's rank numbering and route over its clone trees, which
+//!   do not survive a re-partition. `cd-r` refills its caches within
+//!   `r` epochs (the staleness bound already tolerates exactly this),
+//!   and `cd-0`/`0c` keep no cross-epoch comm state at all.
+//!
+//! Re-sharding hands every new rank the merged replica with a fresh
+//! membership generation stamp; the new world's vertex-cut comes from
+//! the online Libra re-partition (`distgnn_partition::reshard_*`), not
+//! from here.
+
+use distgnn_io::TrainState;
+use distgnn_nn::AdamState;
+
+/// The world-size-independent training state distilled from a cluster
+/// checkpoint: what survives a membership change.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalState {
+    /// Next epoch to run, as checkpointed.
+    pub epoch: u64,
+    /// Membership generation the source checkpoint was written under.
+    pub generation: u64,
+    /// World size of the source checkpoint.
+    pub from_ranks: usize,
+    pub params: Vec<f32>,
+    pub adam: AdamState,
+    /// Error-feedback residuals summed over the source ranks, one
+    /// buffer per compressed gradient stream (empty when the run was
+    /// uncompressed).
+    pub residuals: Vec<Vec<f32>>,
+}
+
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Element-wise mean with f64 accumulation (deterministic: fixed rank
+/// order, and f64 holds the sum of any realistic rank count exactly
+/// enough that the rounding is independent of magnitude ordering).
+fn mean_of(vecs: &[&[f32]]) -> Vec<f32> {
+    let k = vecs.len() as f64;
+    (0..vecs[0].len())
+        .map(|i| (vecs.iter().map(|v| v[i] as f64).sum::<f64>() / k) as f32)
+        .collect()
+}
+
+/// Collapses a consistent cluster checkpoint into one [`GlobalState`].
+///
+/// Validates cross-rank consistency (same epoch, generation, parameter
+/// shape, Adam step count and slot shape, residual stream shape) and
+/// returns a message naming the inconsistency otherwise — a checkpoint
+/// that fails here was not written by one epoch barrier and must not
+/// seed a new world.
+pub fn merge_cluster_state(states: &[TrainState]) -> Result<GlobalState, String> {
+    let first = states.first().ok_or("cannot merge an empty checkpoint")?;
+    for (r, s) in states.iter().enumerate() {
+        if s.epoch != first.epoch {
+            return Err(format!(
+                "rank {r} checkpointed epoch {}, rank 0 epoch {}",
+                s.epoch, first.epoch
+            ));
+        }
+        if s.generation != first.generation {
+            return Err(format!(
+                "rank {r} is from membership generation {}, rank 0 from {}",
+                s.generation, first.generation
+            ));
+        }
+        if s.params.len() != first.params.len() {
+            return Err(format!("rank {r} parameter shape differs from rank 0"));
+        }
+        if s.adam.t != first.adam.t || s.adam.slots.len() != first.adam.slots.len() {
+            return Err(format!("rank {r} Adam state shape differs from rank 0"));
+        }
+        for (i, (a, b)) in s.adam.slots.iter().zip(&first.adam.slots).enumerate() {
+            let shape = |x: &Option<(Vec<f32>, Vec<f32>)>| x.as_ref().map(|(m, _)| m.len());
+            if shape(a) != shape(b) {
+                return Err(format!("rank {r} Adam slot {i} shape differs from rank 0"));
+            }
+        }
+        if s.residuals.len() != first.residuals.len()
+            || s.residuals.iter().zip(&first.residuals).any(|(a, b)| a.len() != b.len())
+        {
+            return Err(format!("rank {r} residual streams differ from rank 0"));
+        }
+    }
+
+    let replicated = states.iter().all(|s| {
+        bits_eq(&s.params, &first.params)
+            && s.adam.slots.iter().zip(&first.adam.slots).all(|(a, b)| match (a, b) {
+                (None, None) => true,
+                (Some((am, av)), Some((bm, bv))) => bits_eq(am, bm) && bits_eq(av, bv),
+                _ => false,
+            })
+    });
+    let (params, adam) = if replicated {
+        (first.params.clone(), first.adam.clone())
+    } else {
+        // 0c replicas drift by design; the element-wise mean is the
+        // consensus replica the resized world restarts from.
+        let params = mean_of(&states.iter().map(|s| s.params.as_slice()).collect::<Vec<_>>());
+        let slots = (0..first.adam.slots.len())
+            .map(|i| {
+                first.adam.slots[i].as_ref()?;
+                let ms: Vec<&[f32]> = states
+                    .iter()
+                    .map(|s| s.adam.slots[i].as_ref().expect("shape-checked").0.as_slice())
+                    .collect();
+                let vs: Vec<&[f32]> = states
+                    .iter()
+                    .map(|s| s.adam.slots[i].as_ref().expect("shape-checked").1.as_slice())
+                    .collect();
+                Some((mean_of(&ms), mean_of(&vs)))
+            })
+            .collect();
+        (params, AdamState { t: first.adam.t, slots })
+    };
+
+    // Sum residuals across ranks: Σ_ranks (grad − shipped) is the
+    // compression error the whole cluster still owes the trajectory.
+    let residuals = (0..first.residuals.len())
+        .map(|i| {
+            (0..first.residuals[i].len())
+                .map(|j| (states.iter().map(|s| s.residuals[i][j] as f64).sum::<f64>()) as f32)
+                .collect()
+        })
+        .collect();
+
+    Ok(GlobalState {
+        epoch: first.epoch,
+        generation: first.generation,
+        from_ranks: states.len(),
+        params,
+        adam,
+        residuals,
+    })
+}
+
+/// Expands a [`GlobalState`] into per-rank [`TrainState`]s for an
+/// M-rank world under a new membership generation.
+///
+/// Every rank receives the merged replica; rank 0 carries the summed
+/// residuals (preserving global gradient mass — see the module docs)
+/// and the rest carry zeroed buffers of the same shape. DRPA caches and
+/// outboxes start empty: they belong to the old world's routing.
+pub fn reshard_states(global: &GlobalState, new_ranks: usize, generation: u64) -> Vec<TrainState> {
+    assert!(new_ranks >= 1, "need at least one rank");
+    (0..new_ranks)
+        .map(|r| TrainState {
+            epoch: global.epoch,
+            rank: r as u32,
+            ranks: new_ranks as u32,
+            generation,
+            params: global.params.clone(),
+            adam: global.adam.clone(),
+            drpa: Default::default(),
+            outbox: Vec::new(),
+            residuals: if r == 0 {
+                global.residuals.clone()
+            } else {
+                global.residuals.iter().map(|s| vec![0.0; s.len()]).collect()
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(rank: u32, ranks: u32, params: Vec<f32>) -> TrainState {
+        TrainState {
+            epoch: 10,
+            rank,
+            ranks,
+            generation: 2,
+            adam: AdamState {
+                t: 10,
+                slots: vec![None, Some((params.clone(), vec![0.5; params.len()]))],
+            },
+            residuals: vec![vec![1.0, -2.0], vec![0.25]],
+            params,
+            ..TrainState::default()
+        }
+    }
+
+    #[test]
+    fn identical_replicas_merge_bit_exactly() {
+        let states = vec![state(0, 2, vec![0.1, 0.2]), state(1, 2, vec![0.1, 0.2])];
+        let g = merge_cluster_state(&states).unwrap();
+        assert_eq!(g.epoch, 10);
+        assert_eq!(g.generation, 2);
+        assert_eq!(g.from_ranks, 2);
+        // Bit-exact take, not an average that could round.
+        assert!(bits_eq(&g.params, &states[0].params));
+        assert_eq!(g.adam, states[0].adam);
+        // Residuals sum across ranks.
+        assert_eq!(g.residuals, vec![vec![2.0, -4.0], vec![0.5]]);
+    }
+
+    #[test]
+    fn divergent_replicas_merge_to_the_mean() {
+        let states = vec![state(0, 2, vec![0.0, 2.0]), state(1, 2, vec![1.0, 4.0])];
+        let g = merge_cluster_state(&states).unwrap();
+        assert_eq!(g.params, vec![0.5, 3.0]);
+        let (m, v) = g.adam.slots[1].as_ref().unwrap();
+        assert_eq!(m, &vec![0.5, 3.0]);
+        assert_eq!(v, &vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn merge_rejects_cross_rank_inconsistencies() {
+        let a = state(0, 2, vec![0.1]);
+        let mut b = state(1, 2, vec![0.1]);
+        b.epoch = 11;
+        assert!(merge_cluster_state(&[a.clone(), b]).unwrap_err().contains("epoch"));
+        let mut b = state(1, 2, vec![0.1]);
+        b.adam.t = 9;
+        assert!(merge_cluster_state(&[a.clone(), b]).unwrap_err().contains("Adam"));
+        let b = state(1, 2, vec![0.1, 0.2]);
+        assert!(merge_cluster_state(&[a, b]).unwrap_err().contains("parameter"));
+        assert!(merge_cluster_state(&[]).is_err());
+    }
+
+    #[test]
+    fn reshard_gives_every_rank_the_replica_and_rank0_the_residual_mass() {
+        let g = merge_cluster_state(&[state(0, 2, vec![0.1, 0.2]), state(1, 2, vec![0.1, 0.2])])
+            .unwrap();
+        let out = reshard_states(&g, 3, 5);
+        assert_eq!(out.len(), 3);
+        for (r, s) in out.iter().enumerate() {
+            assert_eq!(s.rank, r as u32);
+            assert_eq!(s.ranks, 3);
+            assert_eq!(s.generation, 5);
+            assert_eq!(s.epoch, 10);
+            assert!(bits_eq(&s.params, &g.params));
+            assert_eq!(s.adam, g.adam);
+            assert!(s.outbox.is_empty());
+            assert_eq!(s.drpa, Default::default());
+        }
+        assert_eq!(out[0].residuals, g.residuals);
+        for s in &out[1..] {
+            assert_eq!(s.residuals, vec![vec![0.0, 0.0], vec![0.0]]);
+        }
+        // Global residual mass is preserved by construction.
+        for (i, stream) in g.residuals.iter().enumerate() {
+            for (j, &x) in stream.iter().enumerate() {
+                let total: f32 = out.iter().map(|s| s.residuals[i][j]).sum();
+                assert_eq!(total, x);
+            }
+        }
+    }
+}

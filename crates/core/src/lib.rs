@@ -21,6 +21,7 @@
 pub mod dist;
 pub mod dist_minibatch;
 pub mod drpa;
+pub mod elastic;
 pub mod memmodel;
 pub mod minibatch;
 pub mod model;
@@ -33,5 +34,6 @@ pub use dist::{
     build_metrics, DistConfig, DistEpochReport, DistError, DistMode, DistRunReport, DistTrainer,
     RecoveryReport,
 };
+pub use elastic::{merge_cluster_state, reshard_states, GlobalState};
 pub use model::{Aggregator, GraphSage, LayerWorkspace, SageConfig, SageWorkspace};
 pub use single::{SingleSocketAggregator, Trainer, TrainerConfig};

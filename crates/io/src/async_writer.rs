@@ -179,6 +179,7 @@ mod tests {
             epoch,
             rank,
             ranks,
+            generation: 0,
             params: vec![rank as f32, epoch as f32],
             adam: AdamState::default(),
             drpa: DrpaState::default(),

@@ -36,8 +36,11 @@ use std::path::{Path, PathBuf};
 
 /// Current checkpoint format version; loaders reject anything else.
 /// Version 2 added the `residual` section (error-feedback state), the
-/// DRPA codec mirrors, and the header's encoding-mode flag.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// DRPA codec mirrors, and the header's encoding-mode flag. Version 3
+/// added the membership generation — in the header and on each pending
+/// outbox message — so an elastically resumed world can tell its own
+/// traffic from a dead generation's.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// How the weight-bearing sections (`params`, `adam` moments) are
 /// encoded on disk. The mode is stamped into the header, so a loader
@@ -108,6 +111,10 @@ pub struct PendingWire {
     pub dst: u64,
     pub tag: u64,
     pub remaining_delay: u64,
+    /// Membership generation the message was posted under. A restore
+    /// into a different generation (elastic resize, rank adoption)
+    /// drops the message rather than deliver cross-world traffic.
+    pub generation: u64,
     pub payload: Vec<f32>,
 }
 
@@ -118,6 +125,11 @@ pub struct TrainState {
     pub epoch: u64,
     pub rank: u32,
     pub ranks: u32,
+    /// Membership generation of the world that wrote this state. Starts
+    /// at 0 for a fresh cluster and increments on every membership
+    /// change (elastic resize, rank adoption), so a resumed world never
+    /// mistakes another generation's comm state for its own.
+    pub generation: u64,
     pub params: Vec<f32>,
     pub adam: AdamState,
     pub drpa: DrpaState,
@@ -420,6 +432,7 @@ fn encode_outbox(outbox: &[PendingWire]) -> Vec<u8> {
         buf.extend_from_slice(&m.dst.to_le_bytes());
         buf.extend_from_slice(&m.tag.to_le_bytes());
         buf.extend_from_slice(&m.remaining_delay.to_le_bytes());
+        buf.extend_from_slice(&m.generation.to_le_bytes());
         put_f32s(&mut buf, &m.payload);
     }
     buf
@@ -427,14 +440,15 @@ fn encode_outbox(outbox: &[PendingWire]) -> Vec<u8> {
 
 fn decode_outbox(bytes: &[u8]) -> Result<Vec<PendingWire>, IoError> {
     let mut r = Reader::new(bytes, "outbox section");
-    let n = r.len(24)?;
+    let n = r.len(32)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let dst = r.u64()?;
         let tag = r.u64()?;
         let remaining_delay = r.u64()?;
+        let generation = r.u64()?;
         let np = r.len(4)?;
-        out.push(PendingWire { dst, tag, remaining_delay, payload: r.f32s(np)? });
+        out.push(PendingWire { dst, tag, remaining_delay, generation, payload: r.f32s(np)? });
     }
     r.done()?;
     Ok(out)
@@ -516,6 +530,7 @@ pub fn encode_train_state_mode(state: &TrainState, mode: CheckpointMode) -> Vec<
     buf.extend_from_slice(&state.epoch.to_le_bytes());
     buf.extend_from_slice(&state.rank.to_le_bytes());
     buf.extend_from_slice(&state.ranks.to_le_bytes());
+    buf.extend_from_slice(&state.generation.to_le_bytes());
     buf.extend_from_slice(&(sections.len() as u32).to_le_bytes());
     for (name, payload) in SECTION_NAMES.iter().zip(&sections) {
         buf.extend_from_slice(*name);
@@ -554,6 +569,7 @@ pub fn load_train_state(path: &Path) -> Result<TrainState, IoError> {
     let epoch = r.u64()?;
     let rank = r.u32()?;
     let ranks = r.u32()?;
+    let generation = r.u64()?;
     let nsections = r.u32()? as usize;
     if nsections != SECTION_NAMES.len() {
         return format_err(format!(
@@ -599,6 +615,7 @@ pub fn load_train_state(path: &Path) -> Result<TrainState, IoError> {
         epoch,
         rank,
         ranks,
+        generation,
         params: decode_params(payloads[0], mode)?,
         adam: decode_adam(payloads[1], mode)?,
         drpa: decode_drpa(payloads[2])?,
@@ -646,17 +663,39 @@ fn load_manifest(dir: &Path) -> Result<Manifest, IoError> {
     };
     let epoch = field(lines.next(), "epoch ")?;
     let ranks = field(lines.next(), "ranks ")? as usize;
-    let mut files = Vec::with_capacity(ranks);
+    let mut files: Vec<(String, usize, u32)> = Vec::with_capacity(ranks);
+    let mut seen = vec![false; ranks];
     for line in lines.filter(|l| !l.trim().is_empty()) {
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts.as_slice() {
-            ["file", name, "bytes", len, "crc", crc] => files.push((
-                name.to_string(),
-                len.parse()
-                    .map_err(|_| IoError::Format(format!("bad manifest size `{len}`")))?,
-                u32::from_str_radix(crc, 16)
-                    .map_err(|_| IoError::Format(format!("bad manifest crc `{crc}`")))?,
-            )),
+            ["file", name, "bytes", len, "crc", crc] => {
+                // Each entry must be `rank-<r>.state` for a unique r in
+                // 0..ranks; anything else (a foreign file, a duplicate,
+                // an out-of-range rank) makes the manifest untrustworthy
+                // as a loader's source of truth.
+                let rank: usize = name
+                    .strip_prefix("rank-")
+                    .and_then(|s| s.strip_suffix(".state"))
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| {
+                        IoError::Format(format!("manifest entry `{name}` is not a rank file"))
+                    })?;
+                if rank >= ranks {
+                    return format_err(format!(
+                        "manifest entry `{name}`: rank {rank} out of range for {ranks} ranks"
+                    ));
+                }
+                if std::mem::replace(&mut seen[rank], true) {
+                    return format_err(format!("manifest lists rank {rank} twice"));
+                }
+                files.push((
+                    name.to_string(),
+                    len.parse()
+                        .map_err(|_| IoError::Format(format!("bad manifest size `{len}`")))?,
+                    u32::from_str_radix(crc, 16)
+                        .map_err(|_| IoError::Format(format!("bad manifest crc `{crc}`")))?,
+                ));
+            }
             _ => return format_err(format!("bad manifest line `{line}`")),
         }
     }
@@ -666,16 +705,45 @@ fn load_manifest(dir: &Path) -> Result<Manifest, IoError> {
             files.len()
         ));
     }
+    // Uniqueness + range established above, so sorting by parsed rank id
+    // puts entries in exact rank order whatever order they were listed.
+    files.sort_by_key(|(name, _, _)| {
+        name["rank-".len()..name.len() - ".state".len()]
+            .parse::<usize>()
+            .expect("validated above")
+    });
     Ok(Manifest { epoch, files })
 }
 
 /// Loads a complete cluster checkpoint directory: validates the
 /// manifest, every rank file's size and CRC, and cross-file consistency
-/// (same epoch, ranks numbered `0..k`). Returns the states in rank
-/// order.
+/// (same epoch and generation, ranks numbered `0..k`). Returns the
+/// states in rank order.
 pub fn load_cluster_state(dir: &Path) -> Result<Vec<TrainState>, IoError> {
+    load_cluster_state_for(dir, None)
+}
+
+/// [`load_cluster_state`] that also checks the checkpoint's world size
+/// against the world the caller wants to run. A mismatch is a
+/// [`IoError::Format`] error naming both sizes and pointing at the
+/// elastic-resume path, since re-sharding — not plain resume — is how a
+/// checkpoint crosses world sizes.
+pub fn load_cluster_state_for(
+    dir: &Path,
+    requested_ranks: Option<usize>,
+) -> Result<Vec<TrainState>, IoError> {
     let manifest = load_manifest(dir)?;
-    let mut states = Vec::with_capacity(manifest.files.len());
+    if let Some(want) = requested_ranks {
+        if manifest.files.len() != want {
+            return format_err(format!(
+                "checkpoint in {} holds a {}-rank world but {want} ranks were requested; \
+                 pass --elastic-resume to merge and re-shard it for {want} ranks",
+                dir.display(),
+                manifest.files.len()
+            ));
+        }
+    }
+    let mut states: Vec<TrainState> = Vec::with_capacity(manifest.files.len());
     for (i, (name, len, crc)) in manifest.files.iter().enumerate() {
         let path = dir.join(name);
         let bytes = std::fs::read(&path)?;
@@ -705,6 +773,14 @@ pub fn load_cluster_state(dir: &Path) -> Result<Vec<TrainState>, IoError> {
                 state.ranks,
                 manifest.files.len()
             ));
+        }
+        if let Some(first) = states.first() {
+            if state.generation != first.generation {
+                return format_err(format!(
+                    "{name} is from membership generation {}, rank 0 from {}",
+                    state.generation, first.generation
+                ));
+            }
         }
         states.push(state);
     }
@@ -763,6 +839,7 @@ mod tests {
             epoch: 6,
             rank,
             ranks: 2,
+            generation: 4,
             params: vec![0.5, -1.25, f32::MIN_POSITIVE, 3.0e7],
             adam: AdamState {
                 t: 6,
@@ -782,6 +859,7 @@ mod tests {
                 dst: 1,
                 tag: 0x1234,
                 remaining_delay: 2,
+                generation: 4,
                 payload: vec![9.0, -9.0],
             }],
             residuals: vec![vec![0.125, -4.5e-3], vec![], vec![1.0e9]],
@@ -918,6 +996,126 @@ mod tests {
         bytes[idx] ^= 0x01;
         std::fs::write(&p, &bytes).unwrap();
         assert!(matches!(load_cluster_state(&dir), Err(IoError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes states + a hand-crafted manifest listing `entries`
+    /// (file-name strings; sizes and CRCs are taken from the real files
+    /// when they exist, zeros otherwise).
+    fn write_manifest_lines(dir: &std::path::Path, ranks: usize, entries: &[&str]) {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{MANIFEST_HEADER}");
+        let _ = writeln!(s, "epoch 6");
+        let _ = writeln!(s, "ranks {ranks}");
+        for name in entries {
+            let (len, crc) = match std::fs::read(dir.join(name)) {
+                Ok(bytes) => (bytes.len(), crc32(&bytes)),
+                Err(_) => (0, 0),
+            };
+            let _ = writeln!(s, "file {name} bytes {len} crc {crc:08x}");
+        }
+        std::fs::write(dir.join(MANIFEST_NAME), s).unwrap();
+    }
+
+    #[test]
+    fn manifest_rejects_duplicate_rank_entries() {
+        let dir = temp_path("ckpt-dup");
+        std::fs::create_dir_all(&dir).unwrap();
+        save_train_state(&dir.join("rank-0.state"), &sample_state(0)).unwrap();
+        write_manifest_lines(&dir, 2, &["rank-0.state", "rank-0.state"]);
+        match load_cluster_state(&dir) {
+            Err(IoError::Format(m)) => assert!(m.contains("twice"), "got `{m}`"),
+            other => panic!("expected a duplicate-rank Format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_out_of_range_ranks_and_foreign_names() {
+        let dir = temp_path("ckpt-range");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_manifest_lines(&dir, 2, &["rank-0.state", "rank-5.state"]);
+        match load_cluster_state(&dir) {
+            Err(IoError::Format(m)) => assert!(m.contains("out of range"), "got `{m}`"),
+            other => panic!("expected an out-of-range Format error, got {other:?}"),
+        }
+        write_manifest_lines(&dir, 2, &["rank-0.state", "weights.bin"]);
+        match load_cluster_state(&dir) {
+            Err(IoError::Format(m)) => assert!(m.contains("not a rank file"), "got `{m}`"),
+            other => panic!("expected a foreign-name Format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_entries_load_in_rank_order_even_when_listed_backwards() {
+        let dir = temp_path("ckpt-reorder");
+        std::fs::create_dir_all(&dir).unwrap();
+        for r in 0..2u32 {
+            save_train_state(&dir.join(format!("rank-{r}.state")), &sample_state(r)).unwrap();
+        }
+        write_manifest_lines(&dir, 2, &["rank-1.state", "rank-0.state"]);
+        let states = load_cluster_state(&dir).unwrap();
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0].rank, 0);
+        assert_eq!(states[1].rank, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn world_size_mismatch_points_at_elastic_resume() {
+        let dir = temp_path("ckpt-worldsize");
+        std::fs::create_dir_all(&dir).unwrap();
+        for r in 0..2u32 {
+            save_train_state(&dir.join(format!("rank-{r}.state")), &sample_state(r)).unwrap();
+        }
+        save_cluster_manifest(&dir, 6, 2).unwrap();
+        assert_eq!(load_cluster_state_for(&dir, Some(2)).unwrap().len(), 2);
+        match load_cluster_state_for(&dir, Some(4)) {
+            Err(IoError::Format(m)) => {
+                assert!(m.contains("2-rank world"), "got `{m}`");
+                assert!(m.contains("4 ranks were requested"), "got `{m}`");
+                assert!(m.contains("--elastic-resume"), "got `{m}`");
+            }
+            other => panic!("expected an actionable Format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_checkpoint_dir_is_an_io_error_not_a_panic() {
+        let dir = temp_path("ckpt-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(load_cluster_state(&dir), Err(IoError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_rank_file_set_fails_to_load() {
+        let dir = temp_path("ckpt-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        for r in 0..2u32 {
+            save_train_state(&dir.join(format!("rank-{r}.state")), &sample_state(r)).unwrap();
+        }
+        save_cluster_manifest(&dir, 6, 2).unwrap();
+        std::fs::remove_file(dir.join("rank-1.state")).unwrap();
+        assert!(matches!(load_cluster_state(&dir), Err(IoError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_generation_rank_files_are_rejected() {
+        let dir = temp_path("ckpt-gen-mix");
+        std::fs::create_dir_all(&dir).unwrap();
+        save_train_state(&dir.join("rank-0.state"), &sample_state(0)).unwrap();
+        let stale = TrainState { generation: 3, ..sample_state(1) };
+        save_train_state(&dir.join("rank-1.state"), &stale).unwrap();
+        save_cluster_manifest(&dir, 6, 2).unwrap();
+        match load_cluster_state(&dir) {
+            Err(IoError::Format(m)) => assert!(m.contains("generation"), "got `{m}`"),
+            other => panic!("expected a generation Format error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -168,27 +168,22 @@ fn arb_train_state() -> impl Strategy<Value = TrainState> {
             codec_recv,
         });
     let outbox = proptest::collection::vec(
-        (0u64..8, any::<u64>(), 0u64..16, arb_f32s(16)).prop_map(
-            |(dst, tag, remaining_delay, payload)| PendingWire {
+        (0u64..8, any::<u64>(), 0u64..16, 0u64..8, arb_f32s(16)).prop_map(
+            |(dst, tag, remaining_delay, generation, payload)| PendingWire {
                 dst,
                 tag,
                 remaining_delay,
+                generation,
                 payload,
             },
         ),
         0..5,
     );
     let residuals = proptest::collection::vec(arb_f32s(16), 0..4);
-    (0u64..10_000, 0u32..64, 1u32..64, arb_f32s(64), adam, drpa, outbox, residuals).prop_map(
-        |(epoch, rank, ranks, params, adam, drpa, outbox, residuals)| TrainState {
-            epoch,
-            rank,
-            ranks,
-            params,
-            adam,
-            drpa,
-            outbox,
-            residuals,
-        },
-    )
+    ((0u64..10_000, 0u32..64, 1u32..64, 0u64..8), arb_f32s(64), adam, drpa, outbox, residuals)
+        .prop_map(
+            |((epoch, rank, ranks, generation), params, adam, drpa, outbox, residuals)| {
+                TrainState { epoch, rank, ranks, generation, params, adam, drpa, outbox, residuals }
+            },
+        )
 }

@@ -23,7 +23,7 @@ pub mod metrics;
 pub mod random;
 pub mod setup;
 
-pub use libra::{libra_partition, Partitioning};
+pub use libra::{libra_partition, reshard_partitioning, reshard_remove_part, Partitioning};
 pub use setup::{Partition, PartitionedGraph};
 
 /// Partition index. The paper scales to 128 sockets; `u16` is ample.

@@ -76,6 +76,115 @@ pub fn libra_partition(edges: &EdgeList, num_parts: usize) -> Partitioning {
     Partitioning { num_parts, num_vertices: n, edge_assign, vertex_parts, edge_loads }
 }
 
+/// Online incremental re-partition: adapts an existing Libra
+/// partitioning to a new partition count without re-running the full
+/// greedy from scratch. Edges keep their old assignment wherever
+/// possible — the membership-stability property elastic resume relies
+/// on — and only the displaced remainder is re-placed by the same
+/// least-loaded-relevant rule as [`libra_partition`]:
+///
+/// - **shrink** (`new_parts < old`): edges of surviving partitions stay
+///   put; edges of removed partitions are greedily re-assigned across
+///   the survivors;
+/// - **grow** (`new_parts > old`): each old partition keeps up to
+///   `⌈|E| / new_parts⌉` of its edges (in input order); the surplus is
+///   greedily re-assigned, which fills the new empty partitions;
+/// - **same count**: returned verbatim.
+///
+/// # Panics
+/// Panics if `new_parts == 0`, exceeds `PartId` range, or `old` does
+/// not cover `edges`.
+pub fn reshard_partitioning(edges: &EdgeList, old: &Partitioning, new_parts: usize) -> Partitioning {
+    assert!(new_parts >= 1, "need at least one partition");
+    assert!(new_parts <= PartId::MAX as usize + 1, "too many partitions");
+    assert_eq!(
+        old.edge_assign.len(),
+        edges.num_edges(),
+        "partitioning does not cover this edge list"
+    );
+    if new_parts == old.num_parts {
+        return old.clone();
+    }
+    // Keep an edge when its old partition survives and is under quota.
+    // Shrinking never hits the quota (surviving loads are ~|E|/old <
+    // ⌈|E|/new⌉), so survivors keep everything; growing evicts each old
+    // partition's tail beyond its fair share of the new world.
+    let quota = edges.num_edges().div_ceil(new_parts);
+    let keep =
+        |eid: usize, kept: &[usize]| -> Option<PartId> {
+            let p = old.edge_assign[eid];
+            ((p as usize) < new_parts && kept[p as usize] < quota).then_some(p)
+        };
+    reshard_with(edges, new_parts, keep)
+}
+
+/// Online shrink-by-one for rank adoption: drops partition `dead`,
+/// renumbers partitions above it down by one (so partition ids stay
+/// contiguous `0..new_parts`, matching rank ids), keeps every surviving
+/// edge assignment verbatim, and greedily re-assigns the dead
+/// partition's edges across the survivors.
+///
+/// # Panics
+/// Panics if `old` has fewer than two partitions, `dead` is out of
+/// range, or `old` does not cover `edges`.
+pub fn reshard_remove_part(edges: &EdgeList, old: &Partitioning, dead: PartId) -> Partitioning {
+    assert!(old.num_parts >= 2, "cannot remove the only partition");
+    assert!((dead as usize) < old.num_parts, "dead partition out of range");
+    assert_eq!(
+        old.edge_assign.len(),
+        edges.num_edges(),
+        "partitioning does not cover this edge list"
+    );
+    let keep = |eid: usize, _kept: &[usize]| -> Option<PartId> {
+        let p = old.edge_assign[eid];
+        (p != dead).then(|| if p > dead { p - 1 } else { p })
+    };
+    reshard_with(edges, old.num_parts - 1, keep)
+}
+
+/// Shared reshard driver: places kept edges first (preserving the old
+/// layout), then runs the Libra greedy over the displaced remainder in
+/// input order against the already-populated loads and clone sets.
+fn reshard_with(
+    edges: &EdgeList,
+    new_parts: usize,
+    keep: impl Fn(usize, &[usize]) -> Option<PartId>,
+) -> Partitioning {
+    let n = edges.num_vertices();
+    let mut vertex_parts: Vec<Vec<PartId>> = vec![Vec::new(); n];
+    let mut edge_loads = vec![0usize; new_parts];
+    let mut edge_assign: Vec<PartId> = vec![0; edges.num_edges()];
+    let mut displaced: Vec<(usize, u32, u32)> = Vec::new();
+    for (eid, u, v) in edges.iter() {
+        match keep(eid, &edge_loads) {
+            Some(p) => {
+                edge_assign[eid] = p;
+                edge_loads[p as usize] += 1;
+                insert_sorted(&mut vertex_parts[u as usize], p);
+                if u != v {
+                    insert_sorted(&mut vertex_parts[v as usize], p);
+                }
+            }
+            None => displaced.push((eid, u, v)),
+        }
+    }
+    let slack = (edges.num_edges() / 100).max(1);
+    for (eid, u, v) in displaced {
+        let choice = {
+            let pu = &vertex_parts[u as usize];
+            let pv = &vertex_parts[v as usize];
+            pick_partition(pu, pv, &edge_loads, slack)
+        };
+        edge_assign[eid] = choice;
+        edge_loads[choice as usize] += 1;
+        insert_sorted(&mut vertex_parts[u as usize], choice);
+        if u != v {
+            insert_sorted(&mut vertex_parts[v as usize], choice);
+        }
+    }
+    Partitioning { num_parts: new_parts, num_vertices: n, edge_assign, vertex_parts, edge_loads }
+}
+
 fn insert_sorted(parts: &mut Vec<PartId>, p: PartId) {
     if let Err(pos) = parts.binary_search(&p) {
         parts.insert(pos, p);
@@ -188,5 +297,107 @@ mod tests {
         let pairs: Vec<_> = pairs.into_iter().filter(|(a, b)| a != b).collect();
         let e = EdgeList::from_pairs(50, &pairs);
         assert_eq!(libra_partition(&e, 4), libra_partition(&e, 4));
+    }
+
+    fn mesh(n: u32) -> EdgeList {
+        let pairs: Vec<(u32, u32)> = (0..n * 4)
+            .map(|i| (i % n, (i * 7 + 1) % n))
+            .filter(|(a, b)| a != b)
+            .collect();
+        EdgeList::from_pairs(n as usize, &pairs)
+    }
+
+    fn assert_valid(e: &EdgeList, p: &Partitioning) {
+        assert_eq!(p.edge_assign.len(), e.num_edges());
+        assert_eq!(p.edge_loads.iter().sum::<usize>(), e.num_edges());
+        assert!(p.edge_assign.iter().all(|&x| (x as usize) < p.num_parts));
+        for (eid, u, v) in e.iter() {
+            let part = p.edge_assign[eid];
+            assert!(p.vertex_parts[u as usize].contains(&part));
+            assert!(p.vertex_parts[v as usize].contains(&part));
+        }
+    }
+
+    #[test]
+    fn remove_part_keeps_survivor_assignments() {
+        let e = mesh(60);
+        let old = libra_partition(&e, 4);
+        let shrunk = reshard_remove_part(&e, &old, 2);
+        assert_eq!(shrunk.num_parts, 3);
+        assert_valid(&e, &shrunk);
+        for (eid, op) in old.edge_assign.iter().enumerate() {
+            if *op == 2 {
+                continue; // the dead partition's edges moved
+            }
+            let expect = if *op > 2 { op - 1 } else { *op };
+            assert_eq!(shrunk.edge_assign[eid], expect, "survivor edge {eid} moved");
+        }
+    }
+
+    #[test]
+    fn remove_part_rebalances_the_dead_load() {
+        let e = mesh(80);
+        let old = libra_partition(&e, 4);
+        for dead in 0..4u16 {
+            let shrunk = reshard_remove_part(&e, &old, dead);
+            let max = *shrunk.edge_loads.iter().max().unwrap();
+            let min = *shrunk.edge_loads.iter().min().unwrap();
+            let slack = (e.num_edges() / 100).max(1);
+            // Survivors start balanced and the greedy spreads the dead
+            // partition's edges least-loaded-first, so the shrunk loads
+            // stay within the Libra slack of each other.
+            assert!(max - min <= 2 * slack + 1, "loads {:?}", shrunk.edge_loads);
+        }
+    }
+
+    #[test]
+    fn reshard_grow_fills_new_partitions() {
+        let e = mesh(80);
+        let old = libra_partition(&e, 4);
+        let grown = reshard_partitioning(&e, &old, 8);
+        assert_eq!(grown.num_parts, 8);
+        assert_valid(&e, &grown);
+        assert!(grown.edge_loads.iter().all(|&l| l > 0), "loads {:?}", grown.edge_loads);
+        // Stability: every old partition keeps its quota of edges.
+        let quota = e.num_edges().div_ceil(8);
+        for p in 0..4usize {
+            let kept = old
+                .edge_assign
+                .iter()
+                .zip(&grown.edge_assign)
+                .filter(|&(o, g)| *o as usize == p && o == g)
+                .count();
+            assert!(kept >= quota.min(old.edge_loads[p]), "partition {p} kept only {kept}");
+        }
+    }
+
+    #[test]
+    fn reshard_shrink_matches_repeated_removal_validity() {
+        let e = mesh(60);
+        let old = libra_partition(&e, 6);
+        let shrunk = reshard_partitioning(&e, &old, 3);
+        assert_eq!(shrunk.num_parts, 3);
+        assert_valid(&e, &shrunk);
+        // Surviving partitions keep their edges (shrink never evicts).
+        for (eid, op) in old.edge_assign.iter().enumerate() {
+            if (*op as usize) < 3 {
+                assert_eq!(shrunk.edge_assign[eid], *op);
+            }
+        }
+    }
+
+    #[test]
+    fn reshard_same_count_is_identity() {
+        let e = mesh(50);
+        let old = libra_partition(&e, 4);
+        assert_eq!(reshard_partitioning(&e, &old, 4), old);
+    }
+
+    #[test]
+    fn reshard_is_deterministic() {
+        let e = mesh(70);
+        let old = libra_partition(&e, 5);
+        assert_eq!(reshard_partitioning(&e, &old, 3), reshard_partitioning(&e, &old, 3));
+        assert_eq!(reshard_remove_part(&e, &old, 1), reshard_remove_part(&e, &old, 1));
     }
 }

@@ -50,10 +50,13 @@ pub enum TraceCounter {
     Backoff = 1,
     /// An epoch was replayed after a restart.
     Replay = 2,
+    /// A crashed rank's shard was adopted by the survivors (membership
+    /// change, no world restart).
+    Adoption = 3,
 }
 
 /// Number of [`TraceCounter`] variants.
-pub const TRACE_COUNTER_COUNT: usize = 3;
+pub const TRACE_COUNTER_COUNT: usize = 4;
 
 impl TraceCounter {
     pub const fn name(self) -> &'static str {
@@ -61,6 +64,7 @@ impl TraceCounter {
             TraceCounter::Retry => "retries",
             TraceCounter::Backoff => "backoff_barriers",
             TraceCounter::Replay => "epochs_replayed",
+            TraceCounter::Adoption => "adoptions",
         }
     }
 
@@ -69,6 +73,7 @@ impl TraceCounter {
             0 => Some(TraceCounter::Retry),
             1 => Some(TraceCounter::Backoff),
             2 => Some(TraceCounter::Replay),
+            3 => Some(TraceCounter::Adoption),
             _ => None,
         }
     }

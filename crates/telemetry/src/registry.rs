@@ -48,10 +48,15 @@ pub enum Metric {
     // plain BytesSent/BytesReceived report what crossed the wire.
     LogicalBytesSent = 20,
     LogicalBytesReceived = 21,
+    // Elastic membership: crashed-rank shards adopted by survivors and
+    // checkpointed in-flight messages dropped at restore for carrying a
+    // dead generation's stamp.
+    Adoptions = 22,
+    StaleGenerationDropped = 23,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 22;
+pub const METRIC_COUNT: usize = 24;
 
 /// All metrics, in discriminant order.
 pub const METRICS: [Metric; METRIC_COUNT] = [
@@ -77,6 +82,8 @@ pub const METRICS: [Metric; METRIC_COUNT] = [
     Metric::HandleOverlapNs,
     Metric::LogicalBytesSent,
     Metric::LogicalBytesReceived,
+    Metric::Adoptions,
+    Metric::StaleGenerationDropped,
 ];
 
 impl Metric {
@@ -105,6 +112,8 @@ impl Metric {
             Metric::HandleOverlapNs => "handle_overlap_ns",
             Metric::LogicalBytesSent => "logical_bytes_sent",
             Metric::LogicalBytesReceived => "logical_bytes_received",
+            Metric::Adoptions => "adoptions",
+            Metric::StaleGenerationDropped => "stale_generation_dropped",
         }
     }
 
