@@ -18,4 +18,4 @@ pub mod cache;
 pub mod traffic;
 
 pub use cache::{AccessKind, CacheConfig, CacheSim, Region, RegionStats};
-pub use traffic::TrafficReport;
+pub use traffic::{RequestConfig, RequestStream, TrafficReport};

@@ -1,6 +1,105 @@
-//! Human-readable memory-traffic summaries (Figure 3's series).
+//! Human-readable memory-traffic summaries (Figure 3's series), plus
+//! the synthetic request-traffic model that drives the serving
+//! benchmarks: real node-classification traffic is heavily skewed (a
+//! few celebrity vertices absorb most queries), so [`RequestStream`]
+//! samples vertices from a seeded power-law popularity distribution.
 
 use crate::{CacheSim, Region};
+
+/// Shape of a synthetic serving load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestConfig {
+    /// Vertices the queries range over.
+    pub num_vertices: usize,
+    /// Power-law exponent: popularity of the `i`-th hottest vertex is
+    /// proportional to `(i + 1)^-alpha`. `0.0` is uniform; web-serving
+    /// traces sit near `1.0` (classic Zipf).
+    pub alpha: f64,
+    /// Seed for both the popularity ranking (which vertex ids are hot)
+    /// and the sample stream.
+    pub seed: u64,
+}
+
+impl Default for RequestConfig {
+    fn default() -> Self {
+        RequestConfig { num_vertices: 1, alpha: 0.99, seed: 0xCACE }
+    }
+}
+
+/// Seeded power-law vertex sampler: the synthetic request stream for
+/// `bench_serve` and the CLI `serve` subcommand.
+///
+/// Construction precomputes the popularity CDF and a seeded shuffle of
+/// the vertex ids (so the hot set is not just `0..k`); sampling is an
+/// inverse-CDF binary search with no heap allocation, keeping the
+/// serving hot loop on the zero-alloc path.
+#[derive(Clone, Debug)]
+pub struct RequestStream {
+    /// Cumulative popularity, one entry per popularity rank.
+    cdf: Vec<f64>,
+    /// Popularity rank -> vertex id.
+    ranked: Vec<u32>,
+    state: u64,
+}
+
+/// SplitMix64 step — self-contained so the sampler stays deterministic
+/// independent of any `rand` implementation details.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl RequestStream {
+    pub fn new(cfg: RequestConfig) -> RequestStream {
+        assert!(cfg.num_vertices > 0, "request stream over an empty vertex set");
+        assert!(cfg.alpha >= 0.0, "negative power-law exponent");
+        let n = cfg.num_vertices;
+        let mut state = cfg.seed ^ 0x5851f42d4c957f2d;
+        // Fisher–Yates over the vertex ids: rank i gets a random vertex.
+        let mut ranked: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            ranked.swap(i, j);
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-cfg.alpha);
+            cdf.push(acc);
+        }
+        RequestStream { cdf, ranked, state }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Next requested vertex id; allocation-free.
+    pub fn next_vertex(&mut self) -> u32 {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        // 53 random bits in [0, 1).
+        let u = (splitmix64(&mut self.state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let target = u * total;
+        let rank = self.cdf.partition_point(|&c| c <= target).min(self.cdf.len() - 1);
+        self.ranked[rank]
+    }
+
+    /// Fills `out` with the next `out.len()` requests; allocation-free.
+    pub fn fill(&mut self, out: &mut [u32]) {
+        for slot in out.iter_mut() {
+            *slot = self.next_vertex();
+        }
+    }
+
+    /// The `k` hottest vertex ids, most popular first — the working set
+    /// a serving cache should keep resident.
+    pub fn hot_set(&self, k: usize) -> &[u32] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+}
 
 /// The three series plotted in Figure 3 for one kernel configuration,
 /// plus per-region reuse (Table 3).
@@ -66,5 +165,52 @@ mod tests {
     #[test]
     fn mib_conversion() {
         assert!((TrafficReport::mib(1 << 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_in_range() {
+        let cfg = RequestConfig { num_vertices: 100, alpha: 0.99, seed: 7 };
+        let mut a = RequestStream::new(cfg);
+        let mut b = RequestStream::new(cfg);
+        let mut buf = [0u32; 64];
+        a.fill(&mut buf);
+        for &v in &buf {
+            assert!(v < 100);
+            assert_eq!(v, b.next_vertex());
+        }
+    }
+
+    #[test]
+    fn power_law_concentrates_on_hot_set() {
+        let mut s = RequestStream::new(RequestConfig { num_vertices: 1000, alpha: 1.0, seed: 3 });
+        let hot: Vec<u32> = s.hot_set(100).to_vec();
+        let mut in_hot = 0usize;
+        for _ in 0..10_000 {
+            if hot.contains(&s.next_vertex()) {
+                in_hot += 1;
+            }
+        }
+        // Zipf(1.0): the top decile draws ~62% of the mass; uniform
+        // traffic would put only 10% there.
+        assert!(in_hot > 4000, "hot-set share {in_hot}/10000 is not skewed");
+    }
+
+    #[test]
+    fn zero_alpha_is_roughly_uniform() {
+        let mut s = RequestStream::new(RequestConfig { num_vertices: 10, alpha: 0.0, seed: 9 });
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[s.next_vertex() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "uniform bucket starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hot_ranking_depends_on_seed() {
+        let a = RequestStream::new(RequestConfig { num_vertices: 500, alpha: 1.0, seed: 1 });
+        let b = RequestStream::new(RequestConfig { num_vertices: 500, alpha: 1.0, seed: 2 });
+        assert_ne!(a.hot_set(20), b.hot_set(20), "seed must reshuffle popularity");
     }
 }

@@ -56,6 +56,12 @@ pub struct Cli {
     pub no_error_feedback: bool,
     /// Store checkpoints with bf16-packed weights.
     pub lossy_checkpoints: bool,
+    /// Queries to replay against the serving engine (`serve`).
+    pub queries: usize,
+    /// Query batch size for the serving engine (`serve`).
+    pub batch: usize,
+    /// Graph-delta batches interleaved into the query stream (`serve`).
+    pub deltas: usize,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +72,8 @@ pub enum Command {
     DistTrain,
     /// Print dataset statistics and partition quality.
     Inspect,
+    /// Serve node-classification queries from a trained checkpoint.
+    Serve,
     /// Print usage.
     Help,
 }
@@ -98,6 +106,9 @@ impl Default for Cli {
             compress_grads: None,
             no_error_feedback: false,
             lossy_checkpoints: false,
+            queries: 100_000,
+            batch: 64,
+            deltas: 0,
         }
     }
 }
@@ -148,6 +159,7 @@ COMMANDS:
     train         single-socket full-batch training
     dist-train    distributed training on a simulated multi-socket cluster
     inspect       dataset statistics and Libra partition quality
+    serve         answer node-classification queries from a checkpoint
     help          show this text
 
 OPTIONS:
@@ -196,6 +208,18 @@ RECOVERY OPTIONS (dist-train):
                              dead rank's shard from the newest checkpoint
                              and keep training at N-1 (no world restart)
 
+SERVE OPTIONS (serve; also uses --dataset/--scale/--seed to regenerate
+the graph the checkpoint was trained on, and --checkpoint-dir to find it):
+    --queries <n>            queries to replay against the engine
+                             (power-law traffic; default 100000)
+    --batch <n>              query batch size (default 64; 1 = point
+                             queries)
+    --deltas <n>             graph-delta batches to interleave into the
+                             stream, exercising incremental
+                             re-aggregation (default 0)
+    --metrics-out <path>     write serving metrics JSON (query counters,
+                             cache hit rates, phase timings)
+
 OBSERVABILITY OPTIONS (dist-train):
     --trace-out <path>       write a Chrome trace_event timeline (open in
                              Perfetto / chrome://tracing); enables recording
@@ -225,6 +249,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             Some("train") => Command::Train,
             Some("dist-train") => Command::DistTrain,
             Some("inspect") => Command::Inspect,
+            Some("serve") => Command::Serve,
             Some("help") | None => Command::Help,
             Some(other) => return Err(format!("unknown command `{other}`")),
         },
@@ -257,6 +282,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--compress-grads" => cli.compress_grads = Some(WireCodec::parse(value()?)?),
             "--no-error-feedback" => cli.no_error_feedback = true,
             "--lossy-checkpoints" => cli.lossy_checkpoints = true,
+            "--queries" => cli.queries = parse_num(flag, value()?)?,
+            "--batch" => cli.batch = parse_num(flag, value()?)?,
+            "--deltas" => cli.deltas = parse_num(flag, value()?)?,
             "--wire" => {
                 cli.wire = match value()?.as_str() {
                     "fp32" => WirePrecision::Fp32,
@@ -513,6 +541,27 @@ mod tests {
         let cli = parse(&argv("dist-train --faults crash=2@9")).unwrap();
         assert_eq!(cli.faults.crash_at(9), Some(2));
         assert_eq!(cli.faults.crash_at(8), None);
+    }
+
+    #[test]
+    fn serve_flags_parse_with_defaults() {
+        let cli = parse(&argv(
+            "serve --dataset reddit --scale 0.25 --checkpoint-dir ck \
+             --queries 5000 --batch 32 --deltas 10 --metrics-out m.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.checkpoint_dir.as_deref(), Some("ck"));
+        assert_eq!(cli.queries, 5000);
+        assert_eq!(cli.batch, 32);
+        assert_eq!(cli.deltas, 10);
+        assert_eq!(cli.metrics_out.as_deref(), Some("m.json"));
+
+        let plain = parse(&argv("serve")).unwrap();
+        assert_eq!(plain.queries, 100_000);
+        assert_eq!(plain.batch, 64);
+        assert_eq!(plain.deltas, 0);
+        assert!(parse(&argv("serve --batch nope")).is_err());
     }
 
     #[test]

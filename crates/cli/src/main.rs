@@ -1,13 +1,21 @@
 //! `distgnn` — command-line trainer for the DistGNN reproduction.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use distgnn_cachesim::{RequestConfig, RequestStream};
 use distgnn_cli::{dataset_config, parse, Cli, Command, USAGE};
 use distgnn_core::single::{Trainer, TrainerConfig};
-use distgnn_core::{build_metrics, DistConfig, DistTrainer};
+use distgnn_core::{build_metrics, DistConfig, DistMode, DistTrainer};
 use distgnn_graph::{stats, Dataset};
 use distgnn_kernels::AggregationConfig;
 use distgnn_partition::metrics::{edge_balance, replication_factor};
 use distgnn_partition::libra_partition;
-use distgnn_telemetry::{chrome_trace, metrics_json, phase_table, TelemetryHub};
+use distgnn_serve::{load_newest_model, GraphDelta, ServeConfig, ServeEngine};
+use distgnn_telemetry::{
+    chrome_trace, metrics_json, phase_table, MetricsRegistry, Recorder, RecorderConfig,
+    TelemetryHub,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +31,7 @@ fn main() {
         Command::Train => train(&cli),
         Command::DistTrain => dist_train(&cli),
         Command::Inspect => inspect(&cli),
+        Command::Serve => serve(&cli),
     }
 }
 
@@ -234,6 +243,121 @@ fn print_fault_summary(snaps: &[distgnn_comm::CommSnapshot]) {
                 if age == distgnn_comm::stats::STALE_BUCKETS - 1 { "+" } else { " " });
         }
     }
+}
+
+/// `distgnn serve`: restore the newest checkpoint, build the serving
+/// engine over the regenerated dataset, and replay a power-law query
+/// stream (optionally interleaved with graph-delta batches).
+fn serve(cli: &Cli) {
+    let Some(ckpt_dir) = cli.checkpoint_dir.as_deref() else {
+        eprintln!("error: `serve` needs --checkpoint-dir (where dist-train wrote checkpoints)");
+        std::process::exit(2);
+    };
+    let ds = load(cli);
+    // The checkpoint stores flat parameters; the model shape comes from
+    // the dataset, exactly as dist-train derived it.
+    let shape = DistConfig::new(&ds, DistMode::Cd0, 1, 1).model;
+    let loaded = match load_newest_model(std::path::Path::new(ckpt_dir), &shape) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "checkpoint: epoch {} gen {} from {} ranks ({} skipped)",
+        loaded.epoch, loaded.generation, loaded.from_ranks, loaded.skipped
+    );
+
+    let rec = if cli.wants_telemetry() {
+        Arc::new(Recorder::new(RecorderConfig { event_capacity: 4096, epoch_capacity: 4 }))
+    } else {
+        Arc::new(Recorder::disabled())
+    };
+    let batch = cli.batch.max(1);
+    let serve_cfg = ServeConfig { max_batch: batch, ..Default::default() };
+    let build_start = Instant::now();
+    let mut eng = ServeEngine::with_recorder(
+        loaded.model,
+        &ds.graph,
+        ds.features.clone(),
+        &serve_cfg,
+        Arc::clone(&rec),
+    );
+    println!("engine built in {:.1} ms", build_start.elapsed().as_secs_f64() * 1e3);
+
+    let n = ds.graph.num_vertices();
+    let mut stream =
+        RequestStream::new(RequestConfig { num_vertices: n, alpha: 0.99, seed: cli.seed });
+    let mut reqs = vec![0u32; batch];
+    let mut classes = vec![0u32; batch];
+    let num_batches = cli.queries.div_ceil(batch);
+    // Spread the requested delta batches evenly through the stream.
+    let delta_every = if cli.deltas > 0 { num_batches.div_ceil(cli.deltas).max(1) } else { 0 };
+    let mut rng = cli.seed ^ 0xDE17A;
+    let mut applied = 0usize;
+    let start = Instant::now();
+    for b in 0..num_batches {
+        if delta_every > 0 && b % delta_every == 0 && applied < cli.deltas {
+            let deltas = delta_batch(&mut rng, n);
+            let report = eng.apply_deltas(&deltas);
+            applied += 1;
+            let _ = report;
+        }
+        stream.fill(&mut reqs);
+        eng.query_batch(&reqs, &mut classes);
+    }
+    let elapsed = start.elapsed();
+
+    let s = eng.stats();
+    let qps = s.queries as f64 / elapsed.as_secs_f64();
+    println!(
+        "served {} queries in {} batches of {batch}: {:.0} qps ({:.2} us/query)",
+        s.queries,
+        s.batches,
+        qps,
+        elapsed.as_secs_f64() * 1e6 / s.queries.max(1) as f64
+    );
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit rate); {} delta batches, {} deltas applied, \
+         {} rows re-aggregated",
+        s.cache_hits,
+        s.cache_misses,
+        100.0 * s.cache_hits as f64 / (s.cache_hits + s.cache_misses).max(1) as f64,
+        applied,
+        s.deltas_applied,
+        s.rows_reaggregated
+    );
+    if let Some(path) = &cli.metrics_out {
+        let mut reg = MetricsRegistry::new(1);
+        eng.export_metrics(&mut reg, 0);
+        reg.absorb_recorder(0, &rec);
+        export(path, &metrics_json(&reg), "metrics");
+    }
+}
+
+/// Deterministic SplitMix64 delta batches (3:1 adds to removes) for the
+/// `--deltas` stream; duplicates and missing edges are no-op-ignored by
+/// the engine, as in real update feeds.
+fn delta_batch(state: &mut u64, n: usize) -> Vec<GraphDelta> {
+    let mut next = || {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    (0..8)
+        .map(|i| {
+            let src = (next() % n as u64) as u32;
+            let dst = (next() % n as u64) as u32;
+            if i % 4 == 3 {
+                GraphDelta::RemoveEdge { src, dst }
+            } else {
+                GraphDelta::AddEdge { src, dst }
+            }
+        })
+        .collect()
 }
 
 fn inspect(cli: &Cli) {

@@ -68,6 +68,16 @@ impl Linear {
         ops::add_bias(out, &self.bias);
     }
 
+    /// [`Self::forward_into`] over the first `rows` rows of `input` and
+    /// `out` only. The serving batch executor sizes its buffers once for
+    /// `max_batch` and pushes every smaller batch through this entry
+    /// point, so steady-state batches allocate nothing regardless of
+    /// batch size. Computed rows are bit-identical to [`Self::forward_into`].
+    pub fn forward_prefix_into(&self, input: &Matrix, rows: usize, out: &mut Matrix) {
+        distgnn_tensor::matmul_prefix_into(input, rows, &self.weight, out);
+        ops::add_bias_prefix(out, rows, &self.bias);
+    }
+
     /// Backward pass given the cached forward `input` and the gradient
     /// of the loss w.r.t. this layer's output.
     pub fn backward(&self, input: &Matrix, grad_output: &Matrix) -> LinearGrads {

@@ -1,0 +1,64 @@
+//! `distgnn-serve`: the train-to-inference path.
+//!
+//! Training ends with a consistent cluster checkpoint on disk; this
+//! crate turns that checkpoint into a query service. Three pieces:
+//!
+//! * [`load_newest_model`] — walks the checkpoint directory newest-first
+//!   and restores the first snapshot that passes the same validation the
+//!   crash-recovery path applies (per-rank CRC + manifest + cross-rank
+//!   merge). Torn or corrupt snapshots are skipped, not fatal, so a
+//!   server pointed at a live training directory always comes up on the
+//!   newest *complete* state. Lossless and lossy-bf16 checkpoint
+//!   encodings both decode transparently.
+//! * [`ServeEngine`] — materializes the model against a graph and
+//!   precomputes everything a node-classification query needs except the
+//!   final dense layer: all hidden activations plus the final-layer
+//!   aggregation cache. A point query is then one `1 x d` matrix-vector
+//!   product instead of an `L`-layer full-graph pass.
+//! * [`GraphDelta`] — incremental maintenance. Edge and vertex updates
+//!   re-aggregate only the affected rows (eager for hidden layers,
+//!   lazy + epoch-versioned for the final-layer cache) instead of
+//!   recomputing the whole graph.
+//!
+//! Steady-state queries are allocation-free (enforced by the suite's
+//! counting-allocator tests): every buffer is sized at engine build, and
+//! batches of any size up to `max_batch` reuse the same workspace via
+//! the prefix kernels in `distgnn-tensor`.
+
+pub mod engine;
+pub mod loader;
+
+pub use engine::{DeltaReport, GraphDelta, ServeConfig, ServeEngine, ServeStats};
+pub use loader::{load_newest_model, LoadedModel};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why the serving path could not come up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No checkpoint under `dir` survived validation (`skipped` were
+    /// found but rejected as torn, corrupt, or inconsistent).
+    NoCheckpoint { dir: PathBuf, skipped: usize },
+    /// A valid checkpoint was found but its parameter count does not
+    /// match the model shape the caller derived from the dataset.
+    ShapeMismatch { expected: usize, found: usize },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoCheckpoint { dir, skipped } => write!(
+                f,
+                "no loadable checkpoint under {} ({skipped} rejected as torn or inconsistent)",
+                dir.display()
+            ),
+            ServeError::ShapeMismatch { expected, found } => write!(
+                f,
+                "checkpoint holds {found} parameters but the model shape needs {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

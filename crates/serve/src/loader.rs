@@ -1,0 +1,90 @@
+//! Checkpoint-to-model restore for serving.
+//!
+//! Reuses the exact machinery the training-side recovery path trusts:
+//! [`list_checkpoints`] for discovery, [`load_cluster_state`] for
+//! per-rank CRC/manifest validation, and [`merge_cluster_state`] for
+//! the cross-rank consistency checks + deterministic parameter merge
+//! (bit-exact rank-0 parameters when the replicas agree). The only
+//! serving-specific policy is *newest-first with skip*: a torn write of
+//! epoch `N` must not prevent serving epoch `N - k`.
+
+use std::path::Path;
+
+use distgnn_core::{merge_cluster_state, GraphSage, SageConfig};
+use distgnn_io::{list_checkpoints, load_cluster_state};
+
+use crate::ServeError;
+
+/// A model restored from disk, plus provenance for logging.
+#[derive(Clone, Debug)]
+pub struct LoadedModel {
+    pub model: GraphSage,
+    /// Next epoch the checkpoint would have trained (i.e. it holds the
+    /// parameters *after* epoch `epoch - 1`).
+    pub epoch: u64,
+    /// Membership generation the checkpoint was written under.
+    pub generation: u64,
+    /// World size of the training run that wrote it.
+    pub from_ranks: usize,
+    /// Newer checkpoints rejected as torn/corrupt before this one.
+    pub skipped: usize,
+}
+
+/// Restores the newest valid checkpoint under `dir` into a model of
+/// shape `shape`.
+///
+/// Unreadable or inconsistent snapshots are skipped (counted in
+/// [`LoadedModel::skipped`]); a *valid* snapshot whose parameter count
+/// disagrees with `shape` is a hard [`ServeError::ShapeMismatch`] —
+/// that means the caller pointed the server at the wrong dataset, and
+/// silently falling back to an older checkpoint would hide it.
+pub fn load_newest_model(dir: &Path, shape: &SageConfig) -> Result<LoadedModel, ServeError> {
+    let mut skipped = 0usize;
+    for (_, path) in list_checkpoints(dir).into_iter().rev() {
+        let states = match load_cluster_state(&path) {
+            Ok(s) => s,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let global = match merge_cluster_state(&states) {
+            Ok(g) => g,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let mut model = GraphSage::new(shape);
+        if global.params.len() != model.num_params() {
+            return Err(ServeError::ShapeMismatch {
+                expected: model.num_params(),
+                found: global.params.len(),
+            });
+        }
+        model.read_params(&global.params);
+        return Ok(LoadedModel {
+            model,
+            epoch: global.epoch,
+            generation: global.generation,
+            from_ranks: global.from_ranks,
+            skipped,
+        });
+    }
+    Err(ServeError::NoCheckpoint { dir: dir.to_path_buf(), skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dir_is_no_checkpoint() {
+        let dir = distgnn_io::temp_path("serve-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let shape = SageConfig::reddit_shape(8, 3, 1);
+        let err = load_newest_model(&dir, &shape).unwrap_err();
+        assert_eq!(err, ServeError::NoCheckpoint { dir: dir.clone(), skipped: 0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

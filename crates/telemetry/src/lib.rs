@@ -52,10 +52,16 @@ pub enum Phase {
     Checkpoint = 6,
     /// Pure synchronization waits (barrier rendezvous).
     Barrier = 7,
+    /// Inference-side query execution: cache lookups, lazy final-layer
+    /// re-aggregation on a stale row, and the batched dense layer.
+    ServeQuery = 8,
+    /// Inference-side graph-delta application: structural updates plus
+    /// eager hidden-layer re-aggregation of the dirty set.
+    ServeDelta = 9,
 }
 
 /// Number of [`Phase`] variants; sizes the per-phase atomic arrays.
-pub const PHASE_COUNT: usize = 8;
+pub const PHASE_COUNT: usize = 10;
 
 /// All phases, in discriminant order (indexable by `phase as usize`).
 pub const PHASES: [Phase; PHASE_COUNT] = [
@@ -67,6 +73,8 @@ pub const PHASES: [Phase; PHASE_COUNT] = [
     Phase::Optimizer,
     Phase::Checkpoint,
     Phase::Barrier,
+    Phase::ServeQuery,
+    Phase::ServeDelta,
 ];
 
 /// Coarse grouping used by the end-of-run breakdown table and the paper's
@@ -91,14 +99,19 @@ impl Phase {
             Phase::Optimizer => "optimizer",
             Phase::Checkpoint => "checkpoint",
             Phase::Barrier => "barrier",
+            Phase::ServeQuery => "serve_query",
+            Phase::ServeDelta => "serve_delta",
         }
     }
 
     pub const fn kind(self) -> PhaseKind {
         match self {
-            Phase::Forward | Phase::Backward | Phase::Aggregate | Phase::Optimizer => {
-                PhaseKind::Compute
-            }
+            Phase::Forward
+            | Phase::Backward
+            | Phase::Aggregate
+            | Phase::Optimizer
+            | Phase::ServeQuery
+            | Phase::ServeDelta => PhaseKind::Compute,
             Phase::CommSend | Phase::CommWait => PhaseKind::Comm,
             Phase::Barrier => PhaseKind::Idle,
             Phase::Checkpoint => PhaseKind::Io,

@@ -53,10 +53,23 @@ pub enum Metric {
     // dead generation's stamp.
     Adoptions = 22,
     StaleGenerationDropped = 23,
+    // Serving (the `distgnn-serve` query engine).
+    QueriesServed = 24,
+    QueryBatches = 25,
+    /// Final-layer aggregation-cache hits: queries answered from a row
+    /// whose cached aggregate was still current.
+    ServeCacheHits = 26,
+    /// Queries that found a delta-invalidated row and re-aggregated it
+    /// lazily before answering.
+    ServeCacheMisses = 27,
+    DeltasApplied = 28,
+    /// Cached rows recomputed by the incremental re-aggregation engine
+    /// (eager hidden-layer rows plus lazy final-layer rows).
+    RowsReaggregated = 29,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 24;
+pub const METRIC_COUNT: usize = 30;
 
 /// All metrics, in discriminant order.
 pub const METRICS: [Metric; METRIC_COUNT] = [
@@ -84,6 +97,12 @@ pub const METRICS: [Metric; METRIC_COUNT] = [
     Metric::LogicalBytesReceived,
     Metric::Adoptions,
     Metric::StaleGenerationDropped,
+    Metric::QueriesServed,
+    Metric::QueryBatches,
+    Metric::ServeCacheHits,
+    Metric::ServeCacheMisses,
+    Metric::DeltasApplied,
+    Metric::RowsReaggregated,
 ];
 
 impl Metric {
@@ -114,6 +133,12 @@ impl Metric {
             Metric::LogicalBytesReceived => "logical_bytes_received",
             Metric::Adoptions => "adoptions",
             Metric::StaleGenerationDropped => "stale_generation_dropped",
+            Metric::QueriesServed => "queries_served",
+            Metric::QueryBatches => "query_batches",
+            Metric::ServeCacheHits => "serve_cache_hits",
+            Metric::ServeCacheMisses => "serve_cache_misses",
+            Metric::DeltasApplied => "deltas_applied",
+            Metric::RowsReaggregated => "rows_reaggregated",
         }
     }
 

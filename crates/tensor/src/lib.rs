@@ -22,6 +22,7 @@ pub mod softmax;
 pub use init::{xavier_uniform, InitRng};
 pub use matmul::{
     matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into,
+    matmul_prefix_into,
 };
 pub use matrix::Matrix;
 

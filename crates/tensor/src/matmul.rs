@@ -63,6 +63,47 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         });
 }
 
+/// `C = A · B` over the first `rows` rows only: `c[0..rows] = a[0..rows] · b`.
+///
+/// The serving batch executor keeps one `max_batch x k` input buffer and
+/// one `max_batch x n` output buffer and runs every (variable-size) batch
+/// through them; this entry point computes just the occupied prefix, so
+/// steady-state batches of any size `<= max_batch` are allocation-free.
+/// Each computed row goes through the same k-outer/j-inner kernel as
+/// [`matmul_into`], so a prefix row is bit-identical to the full form.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`, `rows` exceeds either buffer, or
+/// `c.cols() != b.cols()`.
+pub fn matmul_prefix_into(a: &Matrix, rows: usize, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_prefix: inner dimensions {} and {} differ",
+        a.cols(),
+        b.rows()
+    );
+    let (k, n) = (a.cols(), b.cols());
+    assert!(rows <= a.rows(), "matmul_prefix: {rows} rows exceed input buffer {}", a.rows());
+    assert!(rows <= c.rows(), "matmul_prefix: {rows} rows exceed output buffer {}", c.rows());
+    assert_eq!(c.cols(), n, "matmul_prefix: output width mismatch");
+    let b_data = b.as_slice();
+    c.as_mut_slice()[..rows * n]
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            c_row.iter_mut().for_each(|x| *x = 0.0);
+            let a_row = a.row(i);
+            for p in 0..k {
+                let aip = a_row[p];
+                let b_row = &b_data[p * n..(p + 1) * n];
+                for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                    *c_el += aip * b_el;
+                }
+            }
+        });
+}
+
 /// `C = Aᵀ · B` without materializing the transpose.
 ///
 /// `A` is `m x k`, `B` is `m x n`, the result is `k x n`. This is the

@@ -108,6 +108,22 @@ pub fn add_bias(a: &mut Matrix, bias: &[f32]) {
         .for_each(|row| axpy(1.0, bias, row));
 }
 
+/// [`add_bias`] over the first `rows` rows only — the prefix twin used
+/// by the serving batch executor alongside
+/// [`crate::matmul_prefix_into`]. Per-row arithmetic is identical to
+/// [`add_bias`], so prefix rows stay bit-identical to the full form.
+///
+/// # Panics
+/// Panics if `bias.len() != a.cols()` or `rows > a.rows()`.
+pub fn add_bias_prefix(a: &mut Matrix, rows: usize, bias: &[f32]) {
+    assert_eq!(bias.len(), a.cols(), "bias length mismatch");
+    assert!(rows <= a.rows(), "add_bias_prefix: {rows} rows exceed buffer {}", a.rows());
+    let cols = a.cols();
+    a.as_mut_slice()[..rows * cols]
+        .par_chunks_mut(cols.max(1))
+        .for_each(|row| axpy(1.0, bias, row));
+}
+
 /// Column sums of `a` — the bias gradient in a linear layer.
 pub fn column_sums(a: &Matrix) -> Vec<f32> {
     let mut out = vec![0.0; a.cols()];

@@ -11,5 +11,6 @@ pub use distgnn_io as io;
 pub use distgnn_kernels as kernels;
 pub use distgnn_nn as nn;
 pub use distgnn_partition as partition;
+pub use distgnn_serve as serve;
 pub use distgnn_telemetry as telemetry;
 pub use distgnn_tensor as tensor;

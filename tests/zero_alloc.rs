@@ -148,3 +148,53 @@ fn steady_state_epoch_with_recording_allocates_nothing() {
     assert!(rec.events_dropped() > 0, "overflow path was not exercised");
     assert!(rec.phase_ns()[Phase::Forward as usize] > 0, "recording captured nothing");
 }
+
+/// The serving query path gives the same guarantee: after the engine is
+/// built (which sizes every cache and workspace), point queries, batch
+/// queries, and logits reads allocate nothing — including the lazy
+/// repairs that follow a graph delta, which run out of the preallocated
+/// gather/repair workspace. Only `apply_deltas` itself may allocate
+/// (adjacency lists and matrices can grow).
+#[test]
+fn steady_state_serve_queries_allocate_nothing() {
+    use distgnn_graph::{generators::community_power_law, Csr};
+    use distgnn_serve::{GraphDelta, ServeConfig, ServeEngine};
+    use distgnn_suite::core::{GraphSage, SageConfig};
+    use distgnn_tensor::init::random_features;
+
+    let _window = WINDOW.lock().unwrap();
+    let n = 64;
+    let edges = community_power_law(n, n * 6, 3, 0.8, 0.7, 21).symmetrize();
+    let g = Csr::from_edges(&edges);
+    let f = random_features(n, 7, 22);
+    let model = GraphSage::new(&SageConfig {
+        in_dim: 7,
+        hidden: vec![9, 5],
+        num_classes: 4,
+        seed: 23,
+    });
+    let mut eng =
+        ServeEngine::new(model, &g, f, &ServeConfig { max_batch: 16, ..Default::default() });
+
+    // Deltas invalidate rows so the counted window exercises the lazy
+    // re-aggregation path, not just warm cache hits.
+    eng.apply_deltas(&[
+        GraphDelta::AddEdge { src: 0, dst: 33 },
+        GraphDelta::RemoveEdge { src: g.neighbors(5)[0], dst: 5 },
+    ]);
+
+    let vs: Vec<u32> = (0..48u32).map(|i| (i * 13) % n as u32).collect();
+    let mut classes = vec![0u32; vs.len()];
+    let mut logits = vec![0.0f32; 4];
+    let mut emb = vec![0.0f32; 5];
+    let (allocs, _) = count_allocs(|| {
+        for &v in &vs {
+            eng.query(v);
+        }
+        eng.query_batch(&vs, &mut classes);
+        eng.logits_into(7, &mut logits);
+        eng.embedding_into(9, &mut emb);
+    });
+    assert_eq!(allocs, 0, "steady-state serve queries performed {allocs} heap allocations");
+    assert!(eng.stats().cache_misses > 0, "the lazy repair path was not exercised");
+}
